@@ -1,0 +1,95 @@
+// Ablation — how much each B&B ingredient (§4's heuristics, the
+// bounding function, Appendix D's first-fit seeding) contributes to
+// search efficiency, on a fixed WC replication.
+//
+// Not a paper figure; this regenerates the *reasoning* behind §4's
+// heuristic design and Appendix D's discussion.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "optimizer/placement_bb.h"
+
+using namespace brisk;
+
+int main() {
+  bench::Banner("Ablation", "B&B heuristics, WC {2,2,10,20,4} on Server A");
+  const hw::MachineSpec machine = hw::MachineSpec::ServerA();
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  if (!app.ok()) return 1;
+  auto plan =
+      model::ExecutionPlan::Create(app->topology_ptr.get(), {2, 2, 10, 20, 4});
+  if (!plan.ok()) return 1;
+  model::PerfModel model(&machine, &app->profiles);
+
+  struct Config {
+    const char* label;
+    opt::PlacementOptions opts;
+  };
+  opt::PlacementOptions base;
+  base.compress_ratio = 2;
+  base.max_seconds = 10.0;
+  base.max_nodes = 200000;
+
+  std::vector<Config> configs;
+  configs.push_back({"full RLAS search", base});
+  {
+    auto o = base;
+    o.use_best_fit = false;
+    configs.push_back({"- best-fit", o});
+  }
+  {
+    auto o = base;
+    o.use_redundancy_elimination = false;
+    configs.push_back({"- redundancy elim", o});
+  }
+  {
+    auto o = base;
+    o.use_best_fit = false;
+    o.use_pruning = false;
+    configs.push_back({"- best-fit & pruning", o});
+  }
+  {
+    auto o = base;
+    o.seed_with_first_fit = true;
+    configs.push_back({"+ first-fit seed", o});
+  }
+  {
+    auto o = base;
+    o.compress_ratio = 1;
+    configs.push_back({"compress r=1", o});
+  }
+
+  const std::vector<int> widths = {22, 10, 10, 12, 14, 10};
+  bench::PrintRule(widths);
+  bench::PrintRow({"configuration", "nodes", "pruned", "runtime(ms)",
+                   "tput (K/s)", "complete"},
+                  widths);
+  bench::PrintRule(widths);
+  for (const auto& cfg : configs) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = opt::OptimizePlacement(model, *plan, cfg.opts);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (!r.ok()) {
+      bench::PrintRow({cfg.label, "-", "-", "-", r.status().ToString(), "-"},
+                      widths);
+      continue;
+    }
+    char ms_buf[32];
+    std::snprintf(ms_buf, sizeof(ms_buf), "%.1f", ms);
+    bench::PrintRow({cfg.label, std::to_string(r->nodes_explored),
+                     std::to_string(r->nodes_pruned), ms_buf,
+                     bench::Keps(r->model.throughput),
+                     r->search_complete ? "yes" : "no"},
+                    widths);
+  }
+  bench::PrintRule(widths);
+  std::printf(
+      "Expectation: removing best-fit or pruning inflates nodes by "
+      "orders of magnitude\n  at equal-or-worse plan quality; the "
+      "first-fit seed trims nodes further; r=1\n  explores the most "
+      "nodes for (at best) marginal quality gain — §4's rationale.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 12 — RLAS with and without considering varying RMA cost.
+//
+// RLAS_fix(L) pessimistically assumes every operator always pays the
+// worst-case remote fetch; RLAS_fix(U) ignores RMA altogether. Both
+// optimize, then all three resulting plans are measured (simulated)
+// under the true relative-location cost.
+//
+// Paper: RLAS beats fix(L) by 19–39% (fix(L) under-replicates and
+// underutilizes) and fix(U) by 119–455% (fix(U) oversubscribes and
+// interferes).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace brisk;
+
+int main() {
+  bench::Banner("Figure 12", "RLAS vs RLAS_fix(L) vs RLAS_fix(U), Server A");
+  const hw::MachineSpec machine = hw::MachineSpec::ServerA();
+
+  const std::vector<int> widths = {14, 12, 12, 12, 12};
+  bench::PrintRule(widths);
+  bench::PrintRow({"K events/s", "WC", "FD", "SD", "LR"}, widths);
+  bench::PrintRule(widths);
+
+  std::vector<std::string> rows[3] = {
+      {"RLAS"}, {"RLAS_fix(L)"}, {"RLAS_fix(U)"}};
+  std::vector<std::string> gains[2] = {{"RLAS/fix(L)"}, {"RLAS/fix(U)"}};
+
+  for (const auto app : apps::kAllApps) {
+    auto bundle = apps::MakeApp(app);
+    if (!bundle.ok()) return 1;
+    opt::RlasOptions options;
+    options.placement.compress_ratio = 5;
+
+    double tput[3] = {0, 0, 0};
+    // RLAS proper.
+    {
+      opt::RlasOptimizer optimizer(&machine, &bundle->profiles, options);
+      auto r = optimizer.Optimize(bundle->topology());
+      if (!r.ok()) return 1;
+      auto t = bench::MeasuredThroughput(machine, bundle->profiles, r->plan);
+      if (!t.ok()) return 1;
+      tput[0] = *t;
+    }
+    // Fixed-cost ablations, measured under the true cost model.
+    const model::FetchCostMode modes[] = {
+        model::FetchCostMode::kAlwaysRemote,   // fix(L)
+        model::FetchCostMode::kAlwaysLocal};   // fix(U)
+    for (int k = 0; k < 2; ++k) {
+      auto r = opt::OptimizeRlasFixed(machine, bundle->profiles,
+                                      bundle->topology(), modes[k], options);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s fix: %s\n", apps::AppName(app),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      auto t = bench::MeasuredThroughput(machine, bundle->profiles, r->plan);
+      if (!t.ok()) return 1;
+      tput[1 + k] = *t;
+    }
+    for (int k = 0; k < 3; ++k) rows[k].push_back(bench::Keps(tput[k]));
+    for (int k = 0; k < 2; ++k) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%+.0f%%",
+                    100.0 * (tput[0] / tput[1 + k] - 1.0));
+      gains[k].push_back(buf);
+    }
+  }
+  for (const auto& row : rows) bench::PrintRow(row, widths);
+  for (const auto& row : gains) bench::PrintRow(row, widths);
+  bench::PrintRule(widths);
+  std::printf(
+      "Paper (Fig. 12): RLAS +19–39%% over fix(L), +119–455%% over "
+      "fix(U).\n");
+  return 0;
+}

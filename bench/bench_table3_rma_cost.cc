@@ -1,0 +1,103 @@
+// Table 3 — Average processing time per tuple (T) under varying NUMA
+// distance, measured vs estimated, for WC's Splitter and Counter.
+//
+// Methodology mirrors §6.1: the operator is placed on socket S_x while
+// its producer stays on S0; the operator's per-tuple round-trip time is
+// measured (here: simulated busy time / tuples, with the simulator's
+// hardware-prefetch adjustment standing in for real prefetch effects)
+// and compared against the model's T = T_e + ceil(N/S) * L(i,j).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace brisk;
+
+namespace {
+
+struct MicroOp {
+  const char* name;
+  double te_cycles;        // consumer T_e (Server A calibration)
+  double input_bytes;      // producer output tuple size N
+};
+
+/// Builds src -> target micro chain and returns simulated per-tuple ns
+/// of the target when placed on `socket` (producer on S0).
+StatusOr<double> MeasurePerTupleNs(const hw::MachineSpec& machine,
+                                   const MicroOp& op, int socket) {
+  api::TopologyBuilder b("micro");
+  b.AddSpout("src", [] { return std::unique_ptr<api::Spout>(); });
+  b.AddBolt("target", [] { return std::unique_ptr<api::Operator>(); })
+      .ShuffleFrom("src");
+  BRISK_ASSIGN_OR_RETURN(api::Topology topo, std::move(b).Build());
+
+  model::ProfileSet prof;
+  prof.Set("src", model::OperatorProfile::Simple(/*te=*/120, 64,
+                                                 op.input_bytes));
+  prof.Set("target", model::OperatorProfile::Simple(op.te_cycles, 64, 16));
+
+  BRISK_ASSIGN_OR_RETURN(model::ExecutionPlan plan,
+                         model::ExecutionPlan::Create(&topo, {1, 1}));
+  plan.SetSocket(0, 0);
+  plan.SetSocket(1, socket);
+
+  sim::SimConfig cfg;
+  cfg.duration_s = 0.05;
+  cfg.warmup_s = 0.01;
+  BRISK_ASSIGN_OR_RETURN(sim::SimResult r,
+                         sim::Simulate(machine, prof, plan, cfg));
+  if (r.instances[1].tuples_in == 0) {
+    return Status::Internal("no tuples reached the target");
+  }
+  return r.instances[1].busy_ns /
+         static_cast<double>(r.instances[1].tuples_in);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Table 3",
+                "per-tuple time T vs NUMA distance (measured/estimated), "
+                "Server A");
+  const hw::MachineSpec machine = hw::MachineSpec::ServerA();
+
+  // T_e calibrated from the paper's local rows (1.2 GHz): Splitter
+  // 1612.8 ns, Counter 612.3 ns. Splitter fetches whole sentences
+  // (~2 cache lines); Counter fetches single words (1 line).
+  const MicroOp kOps[] = {
+      {"Splitter", 1935.4, 80.0},
+      {"Counter", 734.8, 16.0},
+  };
+  const int kTargets[] = {0, 1, 3, 4, 7};
+
+  for (const auto& op : kOps) {
+    std::printf("\n%s (ns/tuple):\n", op.name);
+    const std::vector<int> widths = {10, 12, 12};
+    bench::PrintRule(widths);
+    bench::PrintRow({"from-to", "measured", "estimated"}, widths);
+    bench::PrintRule(widths);
+    for (const int s : kTargets) {
+      auto measured = MeasurePerTupleNs(machine, op, s);
+      if (!measured.ok()) {
+        std::fprintf(stderr, "%s\n", measured.status().ToString().c_str());
+        return 1;
+      }
+      const double estimated =
+          machine.CyclesToNs(op.te_cycles) +
+          machine.FetchCostNs(0, s, op.input_bytes);
+      char row[32], mcell[32], ecell[32];
+      std::snprintf(row, sizeof(row), s == 0 ? "S0-S0" : "S0-S%d", s);
+      std::snprintf(mcell, sizeof(mcell), "%.1f", *measured);
+      std::snprintf(ecell, sizeof(ecell), "%.1f", estimated);
+      bench::PrintRow({row, mcell, ecell}, widths);
+    }
+    bench::PrintRule(widths);
+  }
+  std::printf(
+      "\nPaper (Table 3): Splitter 1612.8 -> 2371.3 measured vs 1612.8 -> "
+      "3196.4 estimated\n  (estimate above measurement for large tuples: "
+      "prefetching); Counter 612.3 -> 870.2\n  vs 612.3 -> 888.4 (tight for "
+      "single-line tuples). Expect the same pattern: a\n  non-linear jump "
+      "from intra-tray (S1, S3) to inter-tray (S4, S7), estimates\n  above "
+      "measurements for the multi-line Splitter input.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 4 — Model accuracy evaluation of all applications.
+//
+// Paper: on Server A with all 8 sockets, the analytical model's
+// estimated throughput is within 2–14% of the measured throughput
+// (WC 0.08, FD 0.14, SD 0.02, LR 0.06).
+//
+// Here "measured" is the discrete-event simulation of the RLAS plan
+// (the hardware substitution, DESIGN.md §1) and "estimated" the
+// performance model — the same two quantities the paper compares.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace brisk;
+
+int main() {
+  bench::Banner("Table 4", "model accuracy (measured vs estimated), Server A");
+  const hw::MachineSpec machine = hw::MachineSpec::ServerA();
+
+  const std::vector<int> widths = {14, 12, 12, 12, 12};
+  bench::PrintRule(widths);
+  bench::PrintRow({"K events/s", "WC", "FD", "SD", "LR"}, widths);
+  bench::PrintRule(widths);
+
+  std::vector<std::string> measured_row = {"Measured"};
+  std::vector<std::string> estimated_row = {"Estimated"};
+  std::vector<std::string> error_row = {"Rel. error"};
+
+  for (const auto app : apps::kAllApps) {
+    auto optimized = bench::OptimizeApp(app, machine);
+    if (!optimized.ok()) {
+      std::fprintf(stderr, "%s: %s\n", apps::AppName(app),
+                   optimized.status().ToString().c_str());
+      return 1;
+    }
+    const double estimated = optimized->rlas.model.throughput;
+    auto measured = bench::MeasuredThroughput(
+        machine, optimized->profiles, optimized->rlas.plan);
+    if (!measured.ok()) {
+      std::fprintf(stderr, "%s: %s\n", apps::AppName(app),
+                   measured.status().ToString().c_str());
+      return 1;
+    }
+    const double rel_error = std::abs(*measured - estimated) / *measured;
+    measured_row.push_back(bench::Keps(*measured));
+    estimated_row.push_back(bench::Keps(estimated));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", rel_error);
+    error_row.push_back(buf);
+  }
+
+  bench::PrintRow(measured_row, widths);
+  bench::PrintRow(estimated_row, widths);
+  bench::PrintRow(error_row, widths);
+  bench::PrintRule(widths);
+  std::printf(
+      "Paper (Table 4): WC 96390.8/104843.3 (0.08), FD 7172.5/8193.9 "
+      "(0.14),\n  SD 12767.6/12530.2 (0.02), LR 8738.3/9298.7 (0.06) — "
+      "same shape: estimate tracks measurement within a few percent.\n");
+  return 0;
+}

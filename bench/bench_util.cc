@@ -1,0 +1,121 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+namespace brisk::bench {
+
+StatusOr<OptimizedApp> OptimizeApp(apps::AppId app,
+                                   const hw::MachineSpec& machine,
+                                   int compress_ratio,
+                                   apps::SystemKind system) {
+  OptimizedApp out;
+  BRISK_ASSIGN_OR_RETURN(out.bundle, apps::MakeApp(app));
+  BRISK_ASSIGN_OR_RETURN(out.profiles, apps::ProfilesFor(app, system));
+  opt::RlasOptions options;
+  options.placement.compress_ratio = compress_ratio;
+  opt::RlasOptimizer optimizer(&machine, &out.profiles, options);
+  BRISK_ASSIGN_OR_RETURN(out.rlas, optimizer.Optimize(out.bundle.topology()));
+  return out;
+}
+
+sim::SimConfig DefaultSimConfig() {
+  sim::SimConfig cfg;
+  cfg.duration_s = 0.06;
+  cfg.warmup_s = 0.015;
+  return cfg;
+}
+
+StatusOr<sim::SimResult> MeasureSim(const hw::MachineSpec& machine,
+                                    const model::ProfileSet& profiles,
+                                    const model::ExecutionPlan& plan) {
+  return sim::Simulate(machine, profiles, plan, DefaultSimConfig());
+}
+
+StatusOr<double> MeasuredThroughput(const hw::MachineSpec& machine,
+                                    const model::ProfileSet& profiles,
+                                    const model::ExecutionPlan& plan) {
+  BRISK_ASSIGN_OR_RETURN(sim::SimResult r,
+                         MeasureSim(machine, profiles, plan));
+  return r.throughput_tps;
+}
+
+StatusOr<SystemRun> RunSystem(apps::AppId app, const hw::MachineSpec& machine,
+                              apps::SystemKind system) {
+  SystemRun out;
+  out.system = system;
+  BRISK_ASSIGN_OR_RETURN(apps::AppBundle bundle, apps::MakeApp(app));
+  BRISK_ASSIGN_OR_RETURN(out.profiles, apps::ProfilesFor(app, system));
+
+  sim::SimConfig cfg = DefaultSimConfig();
+  if (system == apps::SystemKind::kBrisk) {
+    opt::RlasOptions options;
+    options.placement.compress_ratio = 5;
+    opt::RlasOptimizer optimizer(&machine, &out.profiles, options);
+    BRISK_ASSIGN_OR_RETURN(opt::RlasResult r,
+                           optimizer.Optimize(bundle.topology()));
+    out.plan = r.plan;
+  } else {
+    // Legacy systems scale without NUMA knowledge (fix(U): T_f
+    // ignored) and place obliviously: Storm leaves threads to the OS;
+    // Flink's NUMA-aware config (one task manager per socket, §6.3)
+    // behaves like round-robin across sockets.
+    opt::RlasOptions options;
+    options.placement.compress_ratio = 5;
+    BRISK_ASSIGN_OR_RETURN(
+        opt::RlasResult scaled,
+        opt::OptimizeRlasFixed(machine, out.profiles, bundle.topology(),
+                               model::FetchCostMode::kAlwaysLocal, options));
+    if (system == apps::SystemKind::kFlinkLike) {
+      BRISK_ASSIGN_OR_RETURN(out.plan,
+                             opt::PlaceRoundRobin(machine, scaled.plan));
+    } else {
+      BRISK_ASSIGN_OR_RETURN(out.plan,
+                             opt::PlaceOsDefault(machine, scaled.plan));
+    }
+    // Smaller transfer batches than jumbo tuples (§5.2) but far deeper
+    // buffering (executor queues, network stacks) — the queueing that
+    // drives the paper's Fig. 7 / Table 5 latency gap.
+    cfg.batch_size = system == apps::SystemKind::kStormLike ? 8 : 16;
+    cfg.queue_capacity_batches =
+        system == apps::SystemKind::kStormLike ? 4096 : 1024;
+  }
+  BRISK_ASSIGN_OR_RETURN(out.sim,
+                         sim::Simulate(machine, out.profiles, out.plan, cfg));
+  out.topology_keepalive = bundle.topology_ptr;
+  return out;
+}
+
+std::string Keps(double tuples_per_sec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", tuples_per_sec / 1e3);
+  return buf;
+}
+
+void PrintRule(const std::vector<int>& widths) {
+  std::string line;
+  for (const int w : widths) {
+    line += "+";
+    line.append(static_cast<size_t>(w) + 2, '-');
+  }
+  line += "+";
+  std::printf("%s\n", line.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  std::string line;
+  for (size_t i = 0; i < widths.size(); ++i) {
+    const std::string cell = i < cells.size() ? cells[i] : "";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "| %*s ", widths[i], cell.c_str());
+    line += buf;
+  }
+  line += "|";
+  std::printf("%s\n", line.c_str());
+}
+
+void Banner(const std::string& experiment, const std::string& what) {
+  std::printf("\n=== %s — %s ===\n", experiment.c_str(), what.c_str());
+}
+
+}  // namespace brisk::bench

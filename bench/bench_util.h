@@ -1,0 +1,72 @@
+// Shared helpers for the experiment harness binaries (one per paper
+// table/figure — see DESIGN.md §3 for the index).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "hardware/machine_spec.h"
+#include "model/perf_model.h"
+#include "optimizer/baselines.h"
+#include "optimizer/rlas.h"
+#include "sim/simulator.h"
+
+namespace brisk::bench {
+
+/// An application optimized by RLAS for one machine.
+struct OptimizedApp {
+  apps::AppBundle bundle;
+  model::ProfileSet profiles;  ///< for the chosen SystemKind
+  opt::RlasResult rlas;
+};
+
+/// Runs the full RLAS loop for `app` on `machine` under the given
+/// system's cost profiles.
+StatusOr<OptimizedApp> OptimizeApp(
+    apps::AppId app, const hw::MachineSpec& machine, int compress_ratio = 5,
+    apps::SystemKind system = apps::SystemKind::kBrisk);
+
+/// Default simulation window used across benches (kept short so the
+/// whole harness runs in minutes).
+sim::SimConfig DefaultSimConfig();
+
+/// Simulated ("measured") throughput of a placed plan, tuples/sec.
+StatusOr<double> MeasuredThroughput(const hw::MachineSpec& machine,
+                                    const model::ProfileSet& profiles,
+                                    const model::ExecutionPlan& plan);
+
+/// Full simulation with the default window.
+StatusOr<sim::SimResult> MeasureSim(const hw::MachineSpec& machine,
+                                    const model::ProfileSet& profiles,
+                                    const model::ExecutionPlan& plan);
+
+/// One system's deployment of an application (Fig. 6/7/9 comparisons):
+/// BriskStream uses RLAS; Storm-like uses NUMA-oblivious scaling + OS
+/// placement; Flink-like uses its NUMA-aware-config equivalent,
+/// round-robin across sockets (one task manager per socket, §6.3).
+struct SystemRun {
+  apps::SystemKind system;
+  model::ProfileSet profiles;
+  model::ExecutionPlan plan;
+  sim::SimResult sim;
+  /// Keeps the topology the plan points into alive.
+  std::shared_ptr<const api::Topology> topology_keepalive;
+};
+
+/// Plans and simulates `app` as deployed by `system` on `machine`.
+StatusOr<SystemRun> RunSystem(apps::AppId app, const hw::MachineSpec& machine,
+                              apps::SystemKind system);
+
+/// Formats tuples/sec as the paper's "K events/s" unit.
+std::string Keps(double tuples_per_sec);
+
+/// Fixed-width table printing.
+void PrintRule(const std::vector<int>& widths);
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+
+/// Prints the standard bench banner (experiment id + description).
+void Banner(const std::string& experiment, const std::string& what);
+
+}  // namespace brisk::bench

@@ -1,0 +1,89 @@
+// Adaptive re-optimization (§5.3): a WC deployment whose workload
+// drifts at runtime — sentences get shorter (the splitter's
+// selectivity and cost collapse), so the plan optimized for the old
+// workload over-provisions the splitter. The controller detects the
+// drift, re-plans with RLAS, and prints the migration a deployer would
+// apply.
+//
+//   $ ./examples/adaptive_reoptimization
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "apps/word_count.h"
+#include "hardware/machine_spec.h"
+#include "optimizer/dynamic.h"
+
+using namespace brisk;
+
+int main() {
+  const hw::MachineSpec machine = hw::MachineSpec::ServerB();
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  if (!app.ok()) {
+    std::fprintf(stderr, "%s\n", app.status().ToString().c_str());
+    return 1;
+  }
+
+  // Day 1: optimize for the profiled workload.
+  opt::RlasOptions rlas_options;
+  rlas_options.placement.compress_ratio = 4;
+  opt::RlasOptimizer optimizer(&machine, &app->profiles, rlas_options);
+  auto plan = optimizer.Optimize(app->topology());
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("initial plan (predicted %.1f M events/s):\n%s\n",
+              plan->model.throughput / 1e6, plan->plan.ToString().c_str());
+
+  // Day 2: the monitoring pipeline reports new statistics — sentences
+  // now carry 3 words instead of 10 (e.g. the upstream feed switched
+  // from documents to search queries).
+  apps::WordCountParams drifted_params;
+  drifted_params.words_per_sentence = 3;
+  model::ProfileSet observed = apps::WordCountProfiles(drifted_params);
+  {
+    // The splitter also got ~3x cheaper per sentence (fewer substrings).
+    auto p = observed.Get("splitter");
+    if (p.ok()) {
+      auto q = *p;
+      q.te_cycles *= 0.35;
+      observed.Set("splitter", q);
+    }
+  }
+
+  opt::DynamicOptions dyn_options;
+  dyn_options.rlas = rlas_options;
+  opt::DynamicReoptimizer controller(&machine, dyn_options);
+  auto decision = controller.Check(app->topology(), plan->plan,
+                                   app->profiles, observed);
+  if (!decision.ok()) {
+    std::fprintf(stderr, "%s\n", decision.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("observed profile drift: %.0f%% (threshold %.0f%%)\n",
+              decision->drift * 100.0,
+              dyn_options.drift_threshold * 100.0);
+  if (!decision->reoptimized) {
+    std::printf("controller kept the current plan.\n");
+    return 0;
+  }
+  std::printf(
+      "re-optimized: expected gain %+.0f%% under the observed workload\n"
+      "new plan:\n%s\n",
+      decision->expected_gain * 100.0,
+      decision->new_plan.ToString().c_str());
+  std::printf("migration (%d moves, %d starts, %d stops, %d unchanged):\n",
+              decision->migration.moves, decision->migration.starts,
+              decision->migration.stops, decision->migration.unchanged);
+  int shown = 0;
+  for (const auto& step : decision->migration.steps) {
+    std::printf("  %s\n", step.ToString(app->topology()).c_str());
+    if (++shown >= 12) {
+      std::printf("  ... %zu more steps\n",
+                  decision->migration.steps.size() - shown);
+      break;
+    }
+  }
+  return 0;
+}

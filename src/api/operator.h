@@ -1,0 +1,90 @@
+// Public operator API — the Storm/Heron-compatible surface (§5, App. A).
+//
+// Applications implement Spout (source) and Operator (bolt) and wire
+// them into a Topology with TopologyBuilder. The same Topology object
+// drives the real engine, the discrete-event simulator, and the RLAS
+// optimizer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/tuple.h"
+
+namespace brisk::api {
+
+/// Runtime information handed to an operator instance at Prepare time.
+struct OperatorContext {
+  /// Name of the logical operator this instance replicates.
+  std::string operator_name;
+  /// Replica index in [0, num_replicas).
+  int replica_index = 0;
+  /// Total replicas of this operator in the running plan.
+  int num_replicas = 1;
+  /// Virtual socket this instance is placed on (-1 if unplaced).
+  int socket = -1;
+};
+
+/// Sink for tuples an operator emits during Process/NextBatch.
+///
+/// Emit* takes ownership; the engine buffers emitted tuples into jumbo
+/// tuples per consumer (§5.2). Stream ids index the operator's declared
+/// output streams (0 = "default").
+class OutputCollector {
+ public:
+  virtual ~OutputCollector() = default;
+
+  /// Emits on the default stream.
+  virtual void Emit(Tuple t) = 0;
+
+  /// Emits on a declared named stream.
+  virtual void EmitTo(uint16_t stream_id, Tuple t) = 0;
+};
+
+/// A continuously running stream operator ("bolt").
+///
+/// Implementations must be self-contained: one instance is created per
+/// replica and is only ever driven by a single executor thread, so no
+/// internal synchronization is needed (state partitioning across
+/// replicas is the application's concern, via fields grouping).
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Called once before any Process call.
+  virtual Status Prepare(const OperatorContext& ctx) {
+    (void)ctx;
+    return Status::OK();
+  }
+
+  /// Handles one input tuple, emitting zero or more output tuples.
+  virtual void Process(const Tuple& in, OutputCollector* out) = 0;
+
+  /// Called at shutdown so stateful operators can emit final results.
+  virtual void Flush(OutputCollector* out) { (void)out; }
+};
+
+/// A stream source. NextBatch is the pull interface the engine uses;
+/// the spout stamps origin timestamps itself (via the collector's
+/// tuples) for end-to-end latency accounting.
+class Spout {
+ public:
+  virtual ~Spout() = default;
+
+  virtual Status Prepare(const OperatorContext& ctx) {
+    (void)ctx;
+    return Status::OK();
+  }
+
+  /// Produces up to `max_tuples` tuples. Returns the number produced;
+  /// returning 0 signals a bounded source is exhausted.
+  virtual size_t NextBatch(size_t max_tuples, OutputCollector* out) = 0;
+};
+
+using OperatorFactory = std::function<std::unique_ptr<Operator>()>;
+using SpoutFactory = std::function<std::unique_ptr<Spout>()>;
+
+}  // namespace brisk::api

@@ -1,0 +1,61 @@
+// Registry over the four benchmark applications (§6.1) and the
+// cost-profile variants for the systems the paper compares against.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/topology.h"
+#include "apps/common_ops.h"
+#include "model/operator_profile.h"
+
+namespace brisk::apps {
+
+enum class AppId { kWordCount, kFraudDetection, kSpikeDetection, kLinearRoad };
+
+inline constexpr AppId kAllApps[] = {AppId::kWordCount,
+                                     AppId::kFraudDetection,
+                                     AppId::kSpikeDetection,
+                                     AppId::kLinearRoad};
+
+const char* AppName(AppId id);
+
+/// Which system's per-tuple costs a profile set models (§6.3, Fig. 8):
+///   kBrisk     — BriskStream itself (small instruction footprint,
+///                jumbo tuples);
+///   kStormLike — Storm-era overheads: (de)serialization, duplicated
+///                per-tuple headers, temporary-object churn. T_e is
+///                4–20x Brisk's, "others" ≈ 10x (Fig. 8);
+///   kFlinkLike — Flink-era overheads, slightly leaner than Storm, but
+///                multi-input operators pay an extra stream-merger
+///                (co-flat-map) cost (§6.3's LR discussion);
+///   kBriskNoJumbo — Brisk without jumbo tuples (the Fig. 16
+///                "-Instr.footprint" factor step): per-tuple queue
+///                insertion and header costs return.
+enum class SystemKind { kBrisk, kStormLike, kFlinkLike, kBriskNoJumbo };
+
+const char* SystemName(SystemKind kind);
+
+/// A ready-to-run application: topology + telemetry + Brisk profiles.
+///
+/// The topology lives behind a shared_ptr so its address is stable no
+/// matter how the bundle is moved — ExecutionPlans hold a raw pointer
+/// into it for the lifetime of the optimization/run.
+struct AppBundle {
+  std::string name;
+  std::shared_ptr<const api::Topology> topology_ptr;
+  std::shared_ptr<SinkTelemetry> telemetry;
+  model::ProfileSet profiles;  ///< SystemKind::kBrisk costs
+
+  const api::Topology& topology() const { return *topology_ptr; }
+};
+
+/// Builds an application with default workload parameters.
+StatusOr<AppBundle> MakeApp(AppId id);
+
+/// Cost profiles of `app` under a given system's runtime overheads.
+/// The kBrisk profiles are the calibrated measurements; the legacy
+/// variants derive from them with the Fig. 8 breakdown factors.
+StatusOr<model::ProfileSet> ProfilesFor(AppId id, SystemKind kind);
+
+}  // namespace brisk::apps

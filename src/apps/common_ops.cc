@@ -1,0 +1,27 @@
+#include "apps/common_ops.h"
+
+#include <chrono>
+
+namespace brisk::apps {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CountingSink::Process(const Tuple& in, api::OutputCollector* out) {
+  (void)out;  // terminal operator
+  telemetry_->RecordTuple(in.origin_ts_ns, NowNs());
+}
+
+void ValidatingParser::Process(const Tuple& in, api::OutputCollector* out) {
+  if (!in.fields.empty() && in.fields[0].index() == 2 &&
+      std::get<std::string>(in.fields[0]).empty()) {
+    ++dropped_;
+    return;
+  }
+  out->Emit(in);  // copy: downstream owns its own tuple
+}
+
+}  // namespace brisk::apps

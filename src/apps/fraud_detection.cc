@@ -1,0 +1,106 @@
+#include "apps/fraud_detection.h"
+
+namespace brisk::apps {
+
+Status TransactionSpout::Prepare(const api::OperatorContext& ctx) {
+  rng_ = Rng(params_.seed + 0x51ed2701ULL * (ctx.replica_index + 1));
+  return Status::OK();
+}
+
+size_t TransactionSpout::NextBatch(size_t max_tuples,
+                                   api::OutputCollector* out) {
+  const int64_t now = NowNs();
+  for (size_t i = 0; i < max_tuples; ++i) {
+    Tuple t;
+    t.fields.emplace_back(static_cast<int64_t>(
+        rng_.NextBounded(params_.num_accounts)));
+    // Log-normal-ish spend: mostly small amounts, occasional spikes.
+    const double amount = rng_.NextBernoulli(0.02)
+                              ? 500.0 + rng_.NextDouble() * 4500.0
+                              : 1.0 + rng_.NextDouble() * 120.0;
+    t.fields.emplace_back(amount);
+    t.fields.emplace_back(static_cast<int64_t>(rng_.NextBounded(64)));
+    t.origin_ts_ns = now;
+    out->Emit(std::move(t));
+  }
+  return max_tuples;
+}
+
+int FraudPredictor::BucketOf(double amount) const {
+  int b = 0;
+  double edge = 10.0;
+  while (b < params_.states - 1 && amount > edge) {
+    edge *= 3.0;
+    ++b;
+  }
+  return b;
+}
+
+void FraudPredictor::Process(const Tuple& in, api::OutputCollector* out) {
+  const int64_t account = in.GetInt(0);
+  const double amount = in.GetDouble(1);
+  const int state = BucketOf(amount);
+
+  AccountState& s = accounts_[account];
+  if (s.transitions.empty()) {
+    s.transitions.assign(
+        static_cast<size_t>(params_.states) * params_.states, 0);
+  }
+  double score = 0.0;
+  if (s.last_state >= 0) {
+    const auto row =
+        static_cast<size_t>(s.last_state) * params_.states;
+    uint32_t total = 0;
+    for (int j = 0; j < params_.states; ++j) total += s.transitions[row + j];
+    const uint32_t seen = s.transitions[row + state];
+    // Rare transition (low empirical probability) => high fraud score.
+    score = total > 0
+                ? 1.0 - static_cast<double>(seen) / static_cast<double>(total)
+                : 0.5;
+    ++s.transitions[row + state];
+  }
+  s.last_state = state;
+
+  // Emit a signal per input regardless of the detection outcome
+  // (Appendix B: selectivity one).
+  Tuple t;
+  t.fields.emplace_back(account);
+  t.fields.emplace_back(score);
+  t.origin_ts_ns = in.origin_ts_ns;
+  out->Emit(std::move(t));
+}
+
+StatusOr<api::Topology> BuildFraudDetection(
+    std::shared_ptr<SinkTelemetry> sink, FraudDetectionParams params) {
+  api::TopologyBuilder b("fraud-detection");
+  b.AddSpout("spout", [params] {
+    return std::make_unique<TransactionSpout>(params);
+  });
+  b.AddBolt("parser", [] { return std::make_unique<ValidatingParser>(); })
+      .ShuffleFrom("spout");
+  b.AddBolt("predict", [params] {
+     return std::make_unique<FraudPredictor>(params);
+   }).FieldsFrom("parser", 0);
+  b.AddBolt("sink", [sink] { return std::make_unique<CountingSink>(sink); })
+      .ShuffleFrom("predict");
+  return std::move(b).Build();
+}
+
+model::ProfileSet FraudDetectionProfiles(const FraudDetectionParams& params) {
+  (void)params;
+  using model::OperatorProfile;
+  model::ProfileSet p;
+  constexpr double kRecordBytes = 48.0;
+  p.Set("spout", OperatorProfile::Simple(/*te=*/420, /*m=*/2.0 * kRecordBytes,
+                                         /*out=*/kRecordBytes, /*sel=*/1.0));
+  p.Set("parser", OperatorProfile::Simple(/*te=*/520, /*m=*/kRecordBytes,
+                                          /*out=*/kRecordBytes, /*sel=*/1.0));
+  // The Markov-model lookup + update dominates FD's cost.
+  p.Set("predict", OperatorProfile::Simple(/*te=*/14500, /*m=*/640.0,
+                                           /*out=*/24.0, /*sel=*/1.0));
+  p.Set("sink", OperatorProfile::Simple(/*te=*/120, /*m=*/24.0,
+                                        /*out=*/8.0, /*sel=*/0.0));
+  return p;
+}
+
+}  // namespace brisk::apps

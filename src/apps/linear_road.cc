@@ -1,0 +1,278 @@
+#include "apps/linear_road.h"
+
+namespace brisk::apps {
+
+namespace {
+constexpr int kAvgWindow = 32;
+constexpr double kSmoothing = 0.25;
+constexpr int64_t kCongestionThreshold = 50;  // vehicles per segment
+}  // namespace
+
+Status LinearRoadSpout::Prepare(const api::OperatorContext& ctx) {
+  rng_ = Rng(params_.seed + 0x2545f491ULL * (ctx.replica_index + 1));
+  return Status::OK();
+}
+
+size_t LinearRoadSpout::NextBatch(size_t max_tuples,
+                                  api::OutputCollector* out) {
+  const int64_t now = NowNs();
+  for (size_t i = 0; i < max_tuples; ++i) {
+    Tuple t;
+    const double kind = rng_.NextDouble();
+    const auto vehicle =
+        static_cast<int64_t>(rng_.NextBounded(params_.num_vehicles));
+    if (kind < params_.balance_fraction) {
+      t.fields = {Field(kLrBalance), Field(vehicle)};
+    } else if (kind < params_.balance_fraction + params_.daily_fraction) {
+      t.fields = {Field(kLrDaily), Field(vehicle),
+                  Field(static_cast<int64_t>(rng_.NextBounded(70)))};
+    } else {
+      const auto segment =
+          static_cast<int64_t>(rng_.NextBounded(params_.num_segments));
+      const double speed = rng_.NextBernoulli(params_.stop_probability)
+                               ? 0.0
+                               : 30.0 + rng_.NextDouble() * 70.0;
+      t.fields = {Field(kLrPosition), Field(vehicle), Field(segment),
+                  Field(speed),
+                  Field(static_cast<int64_t>(rng_.NextBounded(4)))};
+    }
+    t.origin_ts_ns = now;
+    out->Emit(std::move(t));
+  }
+  return max_tuples;
+}
+
+void LrDispatcher::Process(const Tuple& in, api::OutputCollector* out) {
+  switch (in.GetInt(0)) {
+    case kLrPosition:
+      out->EmitTo(0, in);  // "position" (the default stream)
+      break;
+    case kLrBalance:
+      out->EmitTo(1, in);  // "balance"
+      break;
+    case kLrDaily:
+      out->EmitTo(2, in);  // "daily"
+      break;
+    default:
+      break;  // malformed event: drop
+  }
+}
+
+void LrAvgSpeed::Process(const Tuple& in, api::OutputCollector* out) {
+  const int64_t segment = in.GetInt(2);
+  const double speed = in.GetDouble(3);
+  SegWindow& w = segments_[segment];
+  w.speeds.push_back(speed);
+  w.sum += speed;
+  if (static_cast<int>(w.speeds.size()) > kAvgWindow) {
+    w.sum -= w.speeds.front();
+    w.speeds.pop_front();
+  }
+  Tuple t;
+  t.fields = {Field(kLrAvgSpeed), Field(segment),
+              Field(w.sum / static_cast<double>(w.speeds.size()))};
+  t.origin_ts_ns = in.origin_ts_ns;
+  out->Emit(std::move(t));
+}
+
+void LrLastAvgSpeed::Process(const Tuple& in, api::OutputCollector* out) {
+  const int64_t segment = in.GetInt(1);
+  const double avg = in.GetDouble(2);
+  auto [it, inserted] = smoothed_.try_emplace(segment, avg);
+  if (!inserted) {
+    it->second = kSmoothing * avg + (1.0 - kSmoothing) * it->second;
+  }
+  Tuple t;
+  t.fields = {Field(kLrLasSpeed), Field(segment), Field(it->second)};
+  t.origin_ts_ns = in.origin_ts_ns;
+  out->Emit(std::move(t));
+}
+
+void LrAccidentDetect::Process(const Tuple& in, api::OutputCollector* out) {
+  const int64_t vehicle = in.GetInt(1);
+  const int64_t segment = in.GetInt(2);
+  const double speed = in.GetDouble(3);
+  int& stops = consecutive_stops_[vehicle];
+  if (speed == 0.0) {
+    if (++stops == kStopsForAccident) {
+      Tuple t;
+      t.fields = {Field(kLrAccident), Field(segment)};
+      t.origin_ts_ns = in.origin_ts_ns;
+      out->Emit(std::move(t));
+    }
+  } else {
+    stops = 0;
+  }
+}
+
+void LrCountVehicle::Process(const Tuple& in, api::OutputCollector* out) {
+  const int64_t vehicle = in.GetInt(1);
+  const int64_t segment = in.GetInt(2);
+  auto& set = vehicles_[segment];
+  set.insert(vehicle);
+  Tuple t;
+  t.fields = {Field(kLrCount), Field(segment),
+              Field(static_cast<int64_t>(set.size()))};
+  t.origin_ts_ns = in.origin_ts_ns;
+  out->Emit(std::move(t));
+}
+
+void LrAccidentNotify::Process(const Tuple& in, api::OutputCollector* out) {
+  if (in.GetInt(0) == kLrAccident) {
+    accident_segments_.insert(in.GetInt(1));
+    return;
+  }
+  // Position report: notify only vehicles entering an accident segment
+  // (rare — Table 8 lists selectivity ~0).
+  const int64_t segment = in.GetInt(2);
+  if (accident_segments_.count(segment)) {
+    Tuple t;
+    t.fields = {Field(kLrNotify), Field(in.GetInt(1)), Field(segment)};
+    t.origin_ts_ns = in.origin_ts_ns;
+    out->Emit(std::move(t));
+  }
+}
+
+void LrTollNotify::Process(const Tuple& in, api::OutputCollector* out) {
+  const int64_t type = in.GetInt(0);
+  int64_t segment = 0;
+  switch (type) {
+    case kLrAccident:
+      accident_segments_.insert(in.GetInt(1));
+      return;  // toll_notify emits nothing for detect_stream (Table 8)
+    case kLrLasSpeed:
+      segment = in.GetInt(1);
+      seg_avg_speed_[segment] = in.GetDouble(2);
+      break;
+    case kLrCount:
+      segment = in.GetInt(1);
+      seg_count_[segment] = in.GetInt(2);
+      break;
+    case kLrPosition:
+      segment = in.GetInt(2);
+      break;
+    default:
+      return;
+  }
+  // Toll: quadratic in congestion above the threshold, zero when the
+  // segment flows freely or has an accident (classic LR formula).
+  const int64_t cars = seg_count_.count(segment) ? seg_count_[segment] : 0;
+  const auto speed_it = seg_avg_speed_.find(segment);
+  const double avg_speed = speed_it != seg_avg_speed_.end()
+                               ? speed_it->second
+                               : 100.0;
+  double toll = 0.0;
+  if (cars > kCongestionThreshold && avg_speed < 40.0 &&
+      !accident_segments_.count(segment)) {
+    const double over = static_cast<double>(cars - kCongestionThreshold);
+    toll = 2.0 * over * over;
+  }
+  Tuple t;
+  t.fields = {Field(kLrToll), Field(segment), Field(toll)};
+  t.origin_ts_ns = in.origin_ts_ns;
+  out->Emit(std::move(t));
+}
+
+void LrDailyExpense::Process(const Tuple& in, api::OutputCollector* out) {
+  (void)out;  // output selectivity ~0 (Table 8)
+  const int64_t vehicle = in.GetInt(1);
+  const int64_t day = in.GetInt(2);
+  expenses_[vehicle * 128 + day] += 1.0;
+}
+
+void LrAccountBalance::Process(const Tuple& in, api::OutputCollector* out) {
+  (void)out;  // output selectivity ~0 (Table 8)
+  balances_[in.GetInt(1)] += 0.0;  // touch account state
+}
+
+StatusOr<api::Topology> BuildLinearRoad(std::shared_ptr<SinkTelemetry> sink,
+                                        LinearRoadParams params) {
+  api::TopologyBuilder b("linear-road");
+  b.AddSpout("spout", [params] {
+    return std::make_unique<LinearRoadSpout>(params);
+  });
+  b.AddBolt("parser", [] { return std::make_unique<ValidatingParser>(); })
+      .ShuffleFrom("spout");
+  // Stream 0 (the implicit "default") carries position reports.
+  b.AddBolt("dispatcher", [] { return std::make_unique<LrDispatcher>(); })
+      .ShuffleFrom("parser")
+      .DeclareStream("balance_stream")
+      .DeclareStream("daily_exp_request");
+  b.AddBolt("avg_speed", [params] {
+     return std::make_unique<LrAvgSpeed>(params);
+   }).FieldsFrom("dispatcher", 2);  // by segment
+  b.AddBolt("las_avg_speed", [] { return std::make_unique<LrLastAvgSpeed>(); })
+      .FieldsFrom("avg_speed", 1);
+  b.AddBolt("accident_detect",
+            [] { return std::make_unique<LrAccidentDetect>(); })
+      .FieldsFrom("dispatcher", 1);  // by vehicle
+  b.AddBolt("count_vehicle", [] { return std::make_unique<LrCountVehicle>(); })
+      .FieldsFrom("dispatcher", 2);  // by segment
+  b.AddBolt("accident_notify",
+            [] { return std::make_unique<LrAccidentNotify>(); })
+      .BroadcastFrom("accident_detect")
+      .ShuffleFrom("dispatcher");
+  b.AddBolt("toll_notify", [] { return std::make_unique<LrTollNotify>(); })
+      .BroadcastFrom("accident_detect")
+      .FieldsFrom("dispatcher", 2)
+      .FieldsFrom("count_vehicle", 1)
+      .FieldsFrom("las_avg_speed", 1);
+  b.AddBolt("daily_expense", [] { return std::make_unique<LrDailyExpense>(); })
+      .ShuffleFrom("dispatcher", "daily_exp_request");
+  b.AddBolt("account_balance",
+            [] { return std::make_unique<LrAccountBalance>(); })
+      .ShuffleFrom("dispatcher", "balance_stream");
+  b.AddBolt("sink", [sink] { return std::make_unique<CountingSink>(sink); })
+      .ShuffleFrom("toll_notify")
+      .ShuffleFrom("accident_notify")
+      .ShuffleFrom("daily_expense")
+      .ShuffleFrom("account_balance");
+  return std::move(b).Build();
+}
+
+model::ProfileSet LinearRoadProfiles(const LinearRoadParams& params) {
+  using model::OperatorProfile;
+  model::ProfileSet p;
+  constexpr double kReportBytes = 44.0;
+
+  p.Set("spout", OperatorProfile::Simple(/*te=*/420, /*m=*/2.0 * kReportBytes,
+                                         /*out=*/kReportBytes, /*sel=*/1.0));
+  p.Set("parser", OperatorProfile::Simple(/*te=*/480, /*m=*/kReportBytes,
+                                          /*out=*/kReportBytes, /*sel=*/1.0));
+
+  {
+    // Dispatcher: three output streams with Table 8 selectivities
+    // (position ≈ 0.99, balance ≈ 0.005, daily ≈ 0.005).
+    OperatorProfile d;
+    d.te_cycles = 900;
+    d.m_bytes = 2.0 * kReportBytes;
+    const double pos = 1.0 - params.balance_fraction - params.daily_fraction;
+    d.output_bytes = {kReportBytes, 20.0, 24.0};
+    d.selectivity = {pos, params.balance_fraction, params.daily_fraction};
+    p.Set("dispatcher", d);
+  }
+  p.Set("avg_speed", OperatorProfile::Simple(/*te=*/1400, /*m=*/520.0,
+                                             /*out=*/24.0, /*sel=*/1.0));
+  p.Set("las_avg_speed", OperatorProfile::Simple(/*te=*/700, /*m=*/96.0,
+                                                 /*out=*/24.0, /*sel=*/1.0));
+  p.Set("accident_detect",
+        OperatorProfile::Simple(/*te=*/1100, /*m=*/128.0,
+                                /*out=*/16.0, /*sel=*/0.001));
+  p.Set("count_vehicle", OperatorProfile::Simple(/*te=*/1000, /*m=*/256.0,
+                                                 /*out=*/24.0, /*sel=*/1.0));
+  p.Set("accident_notify",
+        OperatorProfile::Simple(/*te=*/600, /*m=*/64.0,
+                                /*out=*/24.0, /*sel=*/0.0005));
+  p.Set("toll_notify", OperatorProfile::Simple(/*te=*/1300, /*m=*/256.0,
+                                               /*out=*/24.0, /*sel=*/1.0));
+  p.Set("daily_expense", OperatorProfile::Simple(/*te=*/2000, /*m=*/320.0,
+                                                 /*out=*/32.0, /*sel=*/0.0));
+  p.Set("account_balance",
+        OperatorProfile::Simple(/*te=*/1500, /*m=*/256.0,
+                                /*out=*/32.0, /*sel=*/0.0));
+  p.Set("sink", OperatorProfile::Simple(/*te=*/120, /*m=*/24.0,
+                                        /*out=*/8.0, /*sel=*/0.0));
+  return p;
+}
+
+}  // namespace brisk::apps

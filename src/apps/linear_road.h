@@ -1,0 +1,165 @@
+// Linear Road (LR), Fig. 18(c) — the most complex benchmark topology:
+//
+//   Spout -> Parser -> Dispatcher -+-> AvgSpeed -> LastAvgSpeed -+
+//                                  |-> AccidentDetect ---+       |
+//                                  |-> CountVehicle --+  |       |
+//                                  |   (position) ----+--+-------+-> TollNotify -> Sink
+//                                  |   (position) --------+-> AccidentNotify -> Sink
+//                                  |-> DailyExpense  -> Sink
+//                                  +-> AccountBalance -> Sink
+//
+// Stream selectivities follow Table 8 (position ≈ 0.99 of input;
+// balance/daily requests ≈ 0; toll notifications per position, count
+// and last-average-speed tuple; accident/notify/daily/balance outputs
+// ≈ 0).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "api/operator.h"
+#include "api/topology.h"
+#include "apps/common_ops.h"
+#include "common/rng.h"
+#include "model/operator_profile.h"
+
+namespace brisk::apps {
+
+/// First field of every LR tuple: what kind of event it carries.
+enum LrTupleType : int64_t {
+  kLrPosition = 0,   ///< [type, vehicle, segment, speed, lane]
+  kLrBalance = 1,    ///< [type, vehicle]
+  kLrDaily = 2,      ///< [type, vehicle, day]
+  kLrAvgSpeed = 3,   ///< [type, segment, avg]
+  kLrLasSpeed = 4,   ///< [type, segment, smoothed_avg]
+  kLrAccident = 5,   ///< [type, segment]
+  kLrCount = 6,      ///< [type, segment, vehicles]
+  kLrToll = 7,       ///< [type, vehicle_or_segment, toll]
+  kLrNotify = 8,     ///< [type, vehicle, segment]
+};
+
+struct LinearRoadParams {
+  int num_vehicles = 20000;
+  int num_segments = 100;
+  double balance_fraction = 0.005;  ///< share of balance queries
+  double daily_fraction = 0.005;    ///< share of daily-expense queries
+  double stop_probability = 0.004;  ///< chance a car reports speed 0
+  uint64_t seed = 47;
+};
+
+/// Raw event source mixing position reports with rare account queries.
+class LinearRoadSpout : public api::Spout {
+ public:
+  explicit LinearRoadSpout(LinearRoadParams params)
+      : params_(params), rng_(params.seed) {}
+
+  Status Prepare(const api::OperatorContext& ctx) override;
+  size_t NextBatch(size_t max_tuples, api::OutputCollector* out) override;
+
+ private:
+  LinearRoadParams params_;
+  Rng rng_;
+};
+
+/// Routes raw events to the position / balance / daily streams.
+/// Declared streams: 0 = "position", 1 = "balance", 2 = "daily"
+/// (the default stream is repurposed as "position").
+class LrDispatcher : public api::Operator {
+ public:
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+};
+
+/// Per-segment running average speed over a sliding window of reports.
+class LrAvgSpeed : public api::Operator {
+ public:
+  explicit LrAvgSpeed(LinearRoadParams params) : params_(params) {}
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+
+ private:
+  struct SegWindow {
+    std::deque<double> speeds;
+    double sum = 0.0;
+  };
+  LinearRoadParams params_;
+  std::unordered_map<int64_t, SegWindow> segments_;
+};
+
+/// Exponentially smoothed last average speed per segment.
+class LrLastAvgSpeed : public api::Operator {
+ public:
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+
+ private:
+  std::unordered_map<int64_t, double> smoothed_;
+};
+
+/// Flags a segment as an accident site after `kStopsForAccident`
+/// consecutive zero-speed reports from one vehicle.
+class LrAccidentDetect : public api::Operator {
+ public:
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+
+ private:
+  static constexpr int kStopsForAccident = 4;
+  std::unordered_map<int64_t, int> consecutive_stops_;  // per vehicle
+};
+
+/// Per-segment distinct-vehicle counter (emits the running count).
+class LrCountVehicle : public api::Operator {
+ public:
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+
+ private:
+  std::unordered_map<int64_t, std::set<int64_t>> vehicles_;
+};
+
+/// Notifies vehicles entering a segment with a known accident.
+class LrAccidentNotify : public api::Operator {
+ public:
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+
+ private:
+  std::set<int64_t> accident_segments_;
+};
+
+/// Computes tolls from congestion (vehicle counts), speed (las) and
+/// accident state; emits one toll notification per position, count and
+/// las input (Table 8).
+class LrTollNotify : public api::Operator {
+ public:
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+
+ private:
+  std::unordered_map<int64_t, double> seg_avg_speed_;
+  std::unordered_map<int64_t, int64_t> seg_count_;
+  std::set<int64_t> accident_segments_;
+};
+
+/// Answers daily-expenditure queries against synthetic history.
+/// Output selectivity ~0 (Table 8): state is updated, nothing emitted.
+class LrDailyExpense : public api::Operator {
+ public:
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+
+ private:
+  std::unordered_map<int64_t, double> expenses_;
+};
+
+/// Maintains per-vehicle account balances; selectivity ~0 (Table 8).
+class LrAccountBalance : public api::Operator {
+ public:
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+
+ private:
+  std::unordered_map<int64_t, double> balances_;
+};
+
+StatusOr<api::Topology> BuildLinearRoad(std::shared_ptr<SinkTelemetry> sink,
+                                        LinearRoadParams params = {});
+
+model::ProfileSet LinearRoadProfiles(const LinearRoadParams& params = {});
+
+}  // namespace brisk::apps

@@ -1,0 +1,93 @@
+#include "apps/spike_detection.h"
+
+namespace brisk::apps {
+
+Status SensorSpout::Prepare(const api::OperatorContext& ctx) {
+  rng_ = Rng(params_.seed + 0x7f4a7c15ULL * (ctx.replica_index + 1));
+  return Status::OK();
+}
+
+size_t SensorSpout::NextBatch(size_t max_tuples, api::OutputCollector* out) {
+  const int64_t now = NowNs();
+  for (size_t i = 0; i < max_tuples; ++i) {
+    Tuple t;
+    t.fields.emplace_back(
+        static_cast<int64_t>(rng_.NextBounded(params_.num_devices)));
+    // Baseline around 20 with occasional 3-5x spikes.
+    double reading = 15.0 + rng_.NextDouble() * 10.0;
+    if (rng_.NextBernoulli(0.01)) reading *= 3.0 + rng_.NextDouble() * 2.0;
+    t.fields.emplace_back(reading);
+    t.origin_ts_ns = now;
+    out->Emit(std::move(t));
+  }
+  return max_tuples;
+}
+
+void MovingAverage::Process(const Tuple& in, api::OutputCollector* out) {
+  const int64_t device = in.GetInt(0);
+  const double reading = in.GetDouble(1);
+  WindowState& w = windows_[device];
+  w.values.push_back(reading);
+  w.sum += reading;
+  if (static_cast<int>(w.values.size()) > params_.window) {
+    w.sum -= w.values.front();
+    w.values.pop_front();
+  }
+  Tuple t;
+  t.fields.emplace_back(device);
+  t.fields.emplace_back(reading);
+  t.fields.emplace_back(w.sum / static_cast<double>(w.values.size()));
+  t.origin_ts_ns = in.origin_ts_ns;
+  out->Emit(std::move(t));
+}
+
+void SpikeDetector::Process(const Tuple& in, api::OutputCollector* out) {
+  const double reading = in.GetDouble(1);
+  const double avg = in.GetDouble(2);
+  const bool spike = avg > 0 && reading > params_.spike_threshold * avg;
+  if (spike) ++spikes_;
+  // Signal per input tuple regardless of detection (Appendix B).
+  Tuple t;
+  t.fields.emplace_back(in.GetInt(0));
+  t.fields.emplace_back(static_cast<int64_t>(spike ? 1 : 0));
+  t.origin_ts_ns = in.origin_ts_ns;
+  out->Emit(std::move(t));
+}
+
+StatusOr<api::Topology> BuildSpikeDetection(
+    std::shared_ptr<SinkTelemetry> sink, SpikeDetectionParams params) {
+  api::TopologyBuilder b("spike-detection");
+  b.AddSpout("spout",
+             [params] { return std::make_unique<SensorSpout>(params); });
+  b.AddBolt("parser", [] { return std::make_unique<ValidatingParser>(); })
+      .ShuffleFrom("spout");
+  b.AddBolt("moving_avg", [params] {
+     return std::make_unique<MovingAverage>(params);
+   }).FieldsFrom("parser", 0);
+  b.AddBolt("spike_detect", [params] {
+     return std::make_unique<SpikeDetector>(params);
+   }).ShuffleFrom("moving_avg");
+  b.AddBolt("sink", [sink] { return std::make_unique<CountingSink>(sink); })
+      .ShuffleFrom("spike_detect");
+  return std::move(b).Build();
+}
+
+model::ProfileSet SpikeDetectionProfiles(const SpikeDetectionParams& params) {
+  (void)params;
+  using model::OperatorProfile;
+  model::ProfileSet p;
+  constexpr double kReadingBytes = 24.0;
+  p.Set("spout", OperatorProfile::Simple(/*te=*/380, /*m=*/2.0 * kReadingBytes,
+                                         /*out=*/kReadingBytes, /*sel=*/1.0));
+  p.Set("parser", OperatorProfile::Simple(/*te=*/450, /*m=*/kReadingBytes,
+                                          /*out=*/kReadingBytes, /*sel=*/1.0));
+  p.Set("moving_avg", OperatorProfile::Simple(/*te=*/5200, /*m=*/560.0,
+                                              /*out=*/32.0, /*sel=*/1.0));
+  p.Set("spike_detect", OperatorProfile::Simple(/*te=*/900, /*m=*/64.0,
+                                                /*out=*/16.0, /*sel=*/1.0));
+  p.Set("sink", OperatorProfile::Simple(/*te=*/120, /*m=*/16.0,
+                                        /*out=*/8.0, /*sel=*/0.0));
+  return p;
+}
+
+}  // namespace brisk::apps

@@ -1,0 +1,78 @@
+// Spike Detection (SD), Fig. 18(b):
+//   Spout -> Parser -> MovingAverage -> SpikeDetection -> Sink
+// Sensor readings flow through a per-device sliding-window average;
+// the detector compares each reading against the average and emits a
+// signal per input tuple regardless (Appendix B: selectivity one).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "api/operator.h"
+#include "api/topology.h"
+#include "apps/common_ops.h"
+#include "common/rng.h"
+#include "model/operator_profile.h"
+
+namespace brisk::apps {
+
+struct SpikeDetectionParams {
+  int num_devices = 2048;
+  int window = 64;            ///< moving-average window length
+  double spike_threshold = 1.8;  ///< reading / avg ratio flagged as spike
+  uint64_t seed = 31;
+};
+
+/// Sensor source: (device_id, reading).
+class SensorSpout : public api::Spout {
+ public:
+  explicit SensorSpout(SpikeDetectionParams params)
+      : params_(params), rng_(params.seed) {}
+
+  Status Prepare(const api::OperatorContext& ctx) override;
+  size_t NextBatch(size_t max_tuples, api::OutputCollector* out) override;
+
+ private:
+  SpikeDetectionParams params_;
+  Rng rng_;
+};
+
+/// Per-device sliding-window mean; emits (device, reading, avg).
+class MovingAverage : public api::Operator {
+ public:
+  explicit MovingAverage(SpikeDetectionParams params) : params_(params) {}
+
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+
+ private:
+  struct WindowState {
+    std::deque<double> values;
+    double sum = 0.0;
+  };
+  SpikeDetectionParams params_;
+  std::unordered_map<int64_t, WindowState> windows_;
+};
+
+/// Flags readings that exceed `spike_threshold` x window average.
+class SpikeDetector : public api::Operator {
+ public:
+  explicit SpikeDetector(SpikeDetectionParams params) : params_(params) {}
+
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+
+  uint64_t spikes() const { return spikes_; }
+
+ private:
+  SpikeDetectionParams params_;
+  uint64_t spikes_ = 0;
+};
+
+StatusOr<api::Topology> BuildSpikeDetection(
+    std::shared_ptr<SinkTelemetry> sink, SpikeDetectionParams params = {});
+
+model::ProfileSet SpikeDetectionProfiles(
+    const SpikeDetectionParams& params = {});
+
+}  // namespace brisk::apps

@@ -1,0 +1,68 @@
+// Word Count (WC), the paper's running example (Fig. 2):
+//   Spout -> Parser -> Splitter -> Counter -> Sink
+// Spout emits sentences of ten random words; Splitter has selectivity
+// ten; Counter is stateful (fields-grouped on the word).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/operator.h"
+#include "api/topology.h"
+#include "apps/common_ops.h"
+#include "common/rng.h"
+#include "model/operator_profile.h"
+
+namespace brisk::apps {
+
+/// Workload knobs for WC.
+struct WordCountParams {
+  int words_per_sentence = 10;   ///< Splitter selectivity (§2.2)
+  int vocabulary = 4096;         ///< distinct words
+  double zipf_theta = 0.6;       ///< word frequency skew
+  uint64_t seed = 17;
+};
+
+/// Sentence source: each tuple is one sentence string of
+/// `words_per_sentence` dictionary words.
+class SentenceSpout : public api::Spout {
+ public:
+  explicit SentenceSpout(WordCountParams params);
+
+  Status Prepare(const api::OperatorContext& ctx) override;
+  size_t NextBatch(size_t max_tuples, api::OutputCollector* out) override;
+
+ private:
+  WordCountParams params_;
+  Rng rng_;
+  std::vector<std::string> dictionary_;
+};
+
+/// Splits each sentence into words; emits one tuple per word.
+class Splitter : public api::Operator {
+ public:
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+};
+
+/// Stateful word counter: hashmap word -> occurrences, emits
+/// (word, count) per input word (§2.2).
+class WordCounter : public api::Operator {
+ public:
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+
+ private:
+  std::unordered_map<std::string, int64_t> counts_;
+};
+
+/// Builds the WC topology wired to the given telemetry.
+StatusOr<api::Topology> BuildWordCount(std::shared_ptr<SinkTelemetry> sink,
+                                       WordCountParams params = {});
+
+/// Calibrated BriskStream profiles for WC (cycles; derived from the
+/// paper's Table 3 measurements at Server A's 1.2 GHz — e.g. Splitter
+/// T_e 1612.8 ns ≈ 1935 cycles, Counter 612.3 ns ≈ 735 cycles).
+model::ProfileSet WordCountProfiles(const WordCountParams& params = {});
+
+}  // namespace brisk::apps

@@ -1,0 +1,103 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace brisk {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(double value) const {
+  if (value <= 1.0) return 0;
+  int idx = static_cast<int>(std::log(value) / std::log(kGrowth));
+  return std::min(idx, kNumBuckets - 1);
+}
+
+double Histogram::BucketLower(int idx) const {
+  return std::pow(kGrowth, idx);
+}
+
+double Histogram::BucketUpper(int idx) const {
+  return std::pow(kGrowth, idx + 1);
+}
+
+void Histogram::Add(double value) { AddN(value, 1); }
+
+void Histogram::AddN(double value, uint64_t count) {
+  if (count == 0) return;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += value * static_cast<double>(count);
+  buckets_[BucketFor(value)] += count;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double next = cum + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      // Linear interpolation within the bucket, clamped to observed
+      // extremes so P0/P100 return min/max exactly.
+      const double frac =
+          buckets_[i] ? (target - cum) / static_cast<double>(buckets_[i]) : 0;
+      double v = BucketLower(i) +
+                 frac * (BucketUpper(i) - BucketLower(i));
+      return std::clamp(v, min_, max_);
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+std::vector<std::pair<double, double>> Histogram::Cdf() const {
+  std::vector<std::pair<double, double>> out;
+  if (count_ == 0) return out;
+  uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    cum += buckets_[i];
+    out.emplace_back(BucketUpper(i),
+                     static_cast<double>(cum) / static_cast<double>(count_));
+  }
+  return out;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " min=" << min()
+     << " p50=" << Percentile(0.50) << " p95=" << Percentile(0.95)
+     << " p99=" << Percentile(0.99) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace brisk

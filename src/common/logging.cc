@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace brisk {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_emit_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+void LogMessage::Emit() {
+  if (emitted_) return;
+  emitted_ = true;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fflush(stderr);
+}
+
+LogMessage::~LogMessage() { Emit(); }
+
+FatalLogMessage::~FatalLogMessage() {
+  Emit();
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace brisk

@@ -1,0 +1,79 @@
+// Minimal leveled logging + CHECK macros for BriskStream.
+//
+// Library code prefers returning Status; CHECKs guard programmer errors
+// (invariants), not user input.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace brisk {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (thread-safely) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ protected:
+  /// Writes the accumulated line to stderr exactly once.
+  void Emit();
+
+ private:
+  std::ostringstream stream_;
+  bool emitted_ = false;
+};
+
+/// LogMessage that aborts the process after emitting.
+class FatalLogMessage : public LogMessage {
+ public:
+  using LogMessage::LogMessage;
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    LogMessage::operator<<(v);
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace brisk
+
+#define BRISK_LOG(level)                                                  \
+  if (static_cast<int>(::brisk::LogLevel::k##level) <                     \
+      static_cast<int>(::brisk::GetLogLevel())) {                         \
+  } else                                                                  \
+    ::brisk::internal::LogMessage(::brisk::LogLevel::k##level, __FILE__,  \
+                                  __LINE__)
+
+#define BRISK_CHECK(cond)                                                  \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::brisk::internal::FatalLogMessage(::brisk::LogLevel::kError,          \
+                                       __FILE__, __LINE__)                 \
+        << "Check failed: " #cond " "
+
+#define BRISK_CHECK_OK(expr)                                  \
+  do {                                                        \
+    ::brisk::Status _st = (expr);                             \
+    BRISK_CHECK(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+#define BRISK_DCHECK(cond) BRISK_CHECK(cond)

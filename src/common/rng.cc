@@ -1,0 +1,41 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace brisk {
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double theta) {
+  if (n == 0) return 0;
+  if (theta <= 0.0) return NextBounded(n);
+  // Classic Gray et al. computation with per-(n, theta) memoised
+  // constants; callers in this repo use a fixed (n, theta) per
+  // generator instance so the branch below is usually warm.
+  if (zipf_n_ != n || zipf_theta_ != theta) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zeta_ = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      zeta_ += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zeta_);
+  }
+  double u = NextDouble();
+  double uz = u * zeta_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(n) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+}  // namespace brisk

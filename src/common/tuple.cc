@@ -1,0 +1,57 @@
+#include "common/tuple.h"
+
+namespace brisk {
+
+namespace {
+// 64-bit FNV-1a; cheap and stable across runs (required so fields
+// grouping is deterministic between the model and the engine).
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvBytes(const void* data, size_t n, uint64_t h = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+size_t FieldSizeBytes(const Field& f) {
+  switch (f.index()) {
+    case 0:
+      return sizeof(int64_t);
+    case 1:
+      return sizeof(double);
+    case 2:
+      return std::get<std::string>(f).size() + sizeof(uint32_t);
+  }
+  return 0;
+}
+
+size_t Tuple::SizeBytes() const {
+  size_t n = sizeof(origin_ts_ns) + sizeof(stream_id);
+  for (const auto& f : fields) n += FieldSizeBytes(f);
+  return n;
+}
+
+uint64_t HashField(const Field& f) {
+  switch (f.index()) {
+    case 0: {
+      int64_t v = std::get<int64_t>(f);
+      return FnvBytes(&v, sizeof(v));
+    }
+    case 1: {
+      double v = std::get<double>(f);
+      return FnvBytes(&v, sizeof(v));
+    }
+    case 2: {
+      const std::string& s = std::get<std::string>(f);
+      return FnvBytes(s.data(), s.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace brisk

@@ -1,0 +1,71 @@
+// Tuple representation shared by the API, engine, and legacy modes.
+//
+// BriskStream passes tuples by reference inside one address space
+// (Appendix A): producers allocate tuples, enqueue shared_ptr-like
+// handles, and consumers read the producer-owned storage. The "jumbo
+// tuple" (§5.2) batches many tuples under one shared header so a batch
+// costs a single queue insertion and one header.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace brisk {
+
+/// One field of a tuple. Streaming workloads in this repo only need
+/// integers, doubles, and short strings (words, account ids).
+using Field = std::variant<int64_t, double, std::string>;
+
+/// Returns the in-memory footprint contribution of one field in bytes.
+size_t FieldSizeBytes(const Field& f);
+
+/// A single stream tuple: a small vector of fields plus provenance
+/// metadata used for latency accounting.
+struct Tuple {
+  std::vector<Field> fields;
+
+  /// Wall-clock origin timestamp (ns since steady epoch) stamped by the
+  /// spout; carried through so sinks can compute end-to-end latency.
+  int64_t origin_ts_ns = 0;
+
+  /// Output stream this tuple was emitted on (index into the producer's
+  /// declared output streams; 0 = default stream).
+  uint16_t stream_id = 0;
+
+  Tuple() = default;
+  explicit Tuple(std::vector<Field> f) : fields(std::move(f)) {}
+
+  int64_t GetInt(size_t i) const { return std::get<int64_t>(fields[i]); }
+  double GetDouble(size_t i) const { return std::get<double>(fields[i]); }
+  const std::string& GetString(size_t i) const {
+    return std::get<std::string>(fields[i]);
+  }
+
+  /// Approximate serialized/in-memory size (the model's N).
+  size_t SizeBytes() const;
+};
+
+/// A batch of tuples sharing one header, from one producer to one
+/// consumer (§5.2). The engine moves JumboTuples through SPSC queues;
+/// pass-by-reference means the queue element is just a unique_ptr.
+struct JumboTuple {
+  /// Shared header: producer task id + batch sequence, representative of
+  /// the metadata Storm would duplicate per tuple.
+  int32_t producer_task = -1;
+  uint64_t batch_seq = 0;
+
+  std::vector<Tuple> tuples;
+
+  size_t size() const { return tuples.size(); }
+  bool empty() const { return tuples.empty(); }
+};
+
+using JumboTuplePtr = std::unique_ptr<JumboTuple>;
+
+/// Stable hash for fields-grouping (same key → same consumer replica).
+uint64_t HashField(const Field& f);
+
+}  // namespace brisk

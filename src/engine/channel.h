@@ -1,0 +1,45 @@
+// Inter-task channel: a bounded SPSC queue of envelopes, one per
+// directed (producer instance → consumer instance) edge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/spsc_queue.h"
+#include "common/tuple.h"
+
+namespace brisk::engine {
+
+/// What actually travels through a queue: either a referenced jumbo
+/// tuple (BriskStream's pass-by-reference path, Appendix A) or a
+/// serialized byte buffer (legacy modes).
+struct Envelope {
+  JumboTuplePtr batch;
+  std::unique_ptr<std::vector<uint8_t>> bytes;  ///< legacy payload
+  uint32_t count = 0;
+  int32_t from_instance = -1;
+};
+
+class Channel {
+ public:
+  Channel(int from_instance, int to_instance, size_t capacity)
+      : from_instance_(from_instance),
+        to_instance_(to_instance),
+        queue_(capacity) {}
+
+  int from_instance() const { return from_instance_; }
+  int to_instance() const { return to_instance_; }
+
+  /// Only moves from `e` on success (safe to retry in a spin loop).
+  bool TryPush(Envelope&& e) { return queue_.TryPush(std::move(e)); }
+  bool TryPop(Envelope* e) { return queue_.TryPop(e); }
+  size_t SizeApprox() const { return queue_.SizeApprox(); }
+
+ private:
+  int from_instance_;
+  int to_instance_;
+  SpscQueue<Envelope> queue_;
+};
+
+}  // namespace brisk::engine

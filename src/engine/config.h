@@ -1,0 +1,83 @@
+// Engine execution modes (§5, §6.5).
+//
+// BriskStream's own runtime passes tuple references through SPSC queues
+// in jumbo-tuple batches. The legacy toggles re-introduce, as *real
+// work*, the overheads distributed DSPSs pay per tuple — serialization,
+// duplicated per-tuple headers and temporary objects, extra condition
+// checking — which is how the Fig. 6/8/16 comparisons are reproduced on
+// one machine.
+#pragma once
+
+#include <cstddef>
+
+namespace brisk::engine {
+
+struct EngineConfig {
+  /// Tuples per jumbo tuple (§5.2); 1 disables batching.
+  int batch_size = 64;
+
+  /// Per-edge queue capacity in batches; full queues exert
+  /// back-pressure on the producer.
+  size_t queue_capacity = 128;
+
+  /// Serialize every batch at the producer and deserialize at the
+  /// consumer (what a cross-process runtime must do).
+  bool serialize_tuples = false;
+
+  /// Allocate + fill a per-tuple header object (duplicate metadata a
+  /// jumbo tuple would share; §5.2).
+  bool duplicate_headers = false;
+
+  /// Run the per-tuple guard/bookkeeping work whose instruction
+  /// footprint §5.1 eliminates (exception scaffolding, config checks).
+  bool extra_condition_checks = false;
+
+  /// Charge Formula-2 remote-fetch stalls (busy-wait) for batches that
+  /// cross virtual sockets in the plan (hardware substitution — see
+  /// DESIGN.md §1).
+  bool numa_emulation = false;
+
+  /// Pin each task thread to a physical core (instance id modulo the
+  /// host's core count). Meaningful only when the host has enough
+  /// cores; defaults off for CI-sized machines.
+  bool pin_threads = false;
+
+  /// External ingress rate per topology (tuples/sec), 0 = saturated.
+  double spout_rate_tps = 0.0;
+
+  /// BriskStream's native configuration.
+  static EngineConfig Brisk() { return EngineConfig{}; }
+
+  /// Brisk minus jumbo tuples (Fig. 16's middle step).
+  static EngineConfig BriskNoJumbo() {
+    EngineConfig c;
+    c.batch_size = 1;
+    c.queue_capacity = 4096;
+    return c;
+  }
+
+  /// Storm-like: per-tuple serialization, duplicated headers, extra
+  /// condition checks, no jumbo batching.
+  static EngineConfig StormLike() {
+    EngineConfig c;
+    c.batch_size = 4;  // Storm's small executor transfer batches
+    c.queue_capacity = 1024;
+    c.serialize_tuples = true;
+    c.duplicate_headers = true;
+    c.extra_condition_checks = true;
+    return c;
+  }
+
+  /// Flink-like: network-stack serialization with larger buffers but
+  /// still per-tuple headers.
+  static EngineConfig FlinkLike() {
+    EngineConfig c;
+    c.batch_size = 16;
+    c.queue_capacity = 512;
+    c.serialize_tuples = true;
+    c.duplicate_headers = true;
+    return c;
+  }
+};
+
+}  // namespace brisk::engine

@@ -1,0 +1,52 @@
+#include "engine/observed_profiles.h"
+
+namespace brisk::engine {
+
+StatusOr<model::ProfileSet> ObserveProfiles(
+    const api::Topology& topo, const model::ExecutionPlan& plan,
+    const RunStats& stats, const model::ProfileSet& planned,
+    const ObservationConfig& config) {
+  if (static_cast<int>(stats.tasks.size()) != plan.num_instances()) {
+    return Status::InvalidArgument(
+        "RunStats covers " + std::to_string(stats.tasks.size()) +
+        " tasks but the plan has " + std::to_string(plan.num_instances()));
+  }
+  if (config.reference_ghz <= 0) {
+    return Status::InvalidArgument("reference_ghz must be positive");
+  }
+
+  model::ProfileSet observed;
+  for (const auto& op : topo.ops()) {
+    BRISK_ASSIGN_OR_RETURN(model::OperatorProfile profile,
+                           planned.Get(op.name));
+    uint64_t tuples_in = 0, tuples_out = 0, busy_ns = 0;
+    for (int r = 0; r < plan.replication(op.id); ++r) {
+      const TaskStats& t = stats.tasks[plan.InstanceId(op.id, r)];
+      tuples_in += t.tuples_in;
+      tuples_out += t.tuples_out;
+      busy_ns += t.busy_ns;
+    }
+    if (tuples_in > 0) {
+      profile.te_cycles = static_cast<double>(busy_ns) /
+                          static_cast<double>(tuples_in) *
+                          config.reference_ghz;
+      // Scale the planned per-stream selectivity mix to the observed
+      // aggregate output ratio (the engine does not tag counters per
+      // stream; the mix shape comes from the planned profile).
+      double planned_total = 0.0;
+      for (const double s : profile.selectivity) planned_total += s;
+      const double observed_total = static_cast<double>(tuples_out) /
+                                    static_cast<double>(tuples_in);
+      if (planned_total > 0.0) {
+        const double scale = observed_total / planned_total;
+        for (double& s : profile.selectivity) s *= scale;
+      } else if (observed_total > 0.0 && !profile.selectivity.empty()) {
+        profile.selectivity[0] = observed_total;
+      }
+    }
+    observed.Set(op.name, profile);
+  }
+  return observed;
+}
+
+}  // namespace brisk::engine

@@ -1,0 +1,38 @@
+// Runtime statistics → operator profiles (§3.1/§5.3 closing the loop):
+// "In practice, they can be periodically collected during runtime and
+// the optimization needs to be re-performed accordingly."
+//
+// Derives a ProfileSet from an engine run's TaskStats so the
+// DynamicReoptimizer (optimizer/dynamic.h) can compare the live
+// workload against what the current plan was optimized for.
+#pragma once
+
+#include "api/topology.h"
+#include "common/status.h"
+#include "engine/runtime.h"
+#include "model/execution_plan.h"
+#include "model/operator_profile.h"
+
+namespace brisk::engine {
+
+struct ObservationConfig {
+  /// Clock used to express observed T_e in cycles (profiles are stored
+  /// in cycles so they transfer across machines, §3.1). Defaults to a
+  /// 1 GHz reference: observed ns == cycles.
+  double reference_ghz = 1.0;
+};
+
+/// Aggregates per-task statistics into per-operator observed profiles:
+///   T_e          = Σ busy_ns / Σ tuples_in (converted to cycles),
+///   selectivity  = Σ tuples_out_on_stream / Σ tuples_in, approximated
+///                  from total out (stream split requires the planned
+///                  profile's stream mix, which is carried over),
+///   N, M         = carried over from `planned` (tuple layouts do not
+///                  drift with rate).
+/// Operators whose tasks processed no tuples keep their planned entry.
+StatusOr<model::ProfileSet> ObserveProfiles(
+    const api::Topology& topo, const model::ExecutionPlan& plan,
+    const RunStats& stats, const model::ProfileSet& planned,
+    const ObservationConfig& config = {});
+
+}  // namespace brisk::engine

@@ -1,0 +1,155 @@
+#include "engine/runtime.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace brisk::engine {
+
+namespace {
+
+void MaybePin(std::thread& thread, int instance_id, bool enabled) {
+#if defined(__linux__)
+  if (!enabled) return;
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(instance_id) % cores, &set);
+  pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+#else
+  (void)thread;
+  (void)instance_id;
+  (void)enabled;
+#endif
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<BriskRuntime>> BriskRuntime::Create(
+    const api::Topology* topo, const model::ExecutionPlan& plan,
+    EngineConfig config, const hw::NumaEmulator* numa) {
+  if (topo == nullptr) return Status::InvalidArgument("null topology");
+  if (!plan.FullyPlaced()) {
+    return Status::FailedPrecondition(
+        "cannot deploy a plan with unplaced instances");
+  }
+  if (config.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+
+  auto rt = std::unique_ptr<BriskRuntime>(new BriskRuntime());
+  rt->topo_ = topo;
+  rt->config_ = config;
+
+  const int n = plan.num_instances();
+  rt->instance_sockets_.resize(n);
+  int spout_instances = 0;
+  for (int i = 0; i < n; ++i) {
+    rt->instance_sockets_[i] = plan.instance(i).socket;
+    if (topo->op(plan.instance(i).op).is_spout) ++spout_instances;
+  }
+
+  // Instantiate tasks.
+  for (int i = 0; i < n; ++i) {
+    const auto& pi = plan.instance(i);
+    const auto& op = topo->op(pi.op);
+    auto task =
+        std::make_unique<Task>(i, pi.socket, config, numa);
+    if (op.is_spout) {
+      task->SetSpout(op.spout_factory());
+      task->SetSpoutRate(config.spout_rate_tps > 0
+                             ? config.spout_rate_tps / spout_instances
+                             : 0.0);
+    } else {
+      task->SetBolt(op.bolt_factory());
+    }
+    task->SetInstanceSockets(&rt->instance_sockets_);
+    rt->tasks_.push_back(std::move(task));
+  }
+
+  // Wire channels per topology edge.
+  for (const auto& e : topo->edges()) {
+    for (int pr = 0; pr < plan.replication(e.producer_op); ++pr) {
+      const int pinst = plan.InstanceId(e.producer_op, pr);
+      OutRoute route;
+      route.stream_id = e.stream_id;
+      route.grouping = e.grouping;
+      route.key_field = e.key_field;
+      const int consumers = e.grouping == api::GroupingType::kGlobal
+                                ? 1
+                                : plan.replication(e.consumer_op);
+      for (int cr = 0; cr < consumers; ++cr) {
+        const int cinst = plan.InstanceId(e.consumer_op, cr);
+        rt->channels_.push_back(std::make_unique<Channel>(
+            pinst, cinst, config.queue_capacity));
+        Channel* ch = rt->channels_.back().get();
+        rt->tasks_[cinst]->AddInput(ch);
+        route.channels.push_back(ch);
+        route.buffer_index.push_back(rt->tasks_[pinst]->AddBuffer());
+      }
+      rt->tasks_[pinst]->AddOutRoute(std::move(route));
+    }
+  }
+
+  // Prepare operators with their runtime context.
+  for (int i = 0; i < n; ++i) {
+    const auto& pi = plan.instance(i);
+    api::OperatorContext ctx;
+    ctx.operator_name = topo->op(pi.op).name;
+    ctx.replica_index = pi.replica;
+    ctx.num_replicas = plan.replication(pi.op);
+    ctx.socket = pi.socket;
+    BRISK_RETURN_NOT_OK(rt->tasks_[i]->Prepare(ctx));
+  }
+  return rt;
+}
+
+BriskRuntime::~BriskRuntime() {
+  if (running_) Stop();
+}
+
+Status BriskRuntime::Start() {
+  if (running_) return Status::FailedPrecondition("already running");
+  stop_.store(false);
+  threads_.reserve(tasks_.size());
+  started_at_ = std::chrono::steady_clock::now();
+  for (auto& task : tasks_) {
+    threads_.emplace_back([t = task.get(), this] { t->Run(&stop_); });
+    MaybePin(threads_.back(), task->instance_id(), config_.pin_threads);
+  }
+  running_ = true;
+  return Status::OK();
+}
+
+RunStats BriskRuntime::Stop() {
+  RunStats stats;
+  if (!running_) return stats;
+  stop_.store(true);
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  running_ = false;
+  stats.duration_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - started_at_)
+                         .count();
+  stats.tasks.reserve(tasks_.size());
+  for (const auto& task : tasks_) {
+    stats.tasks.push_back(task->stats());
+    stats.total_emitted += task->stats().tuples_out;
+    stats.total_consumed += task->stats().tuples_in;
+  }
+  return stats;
+}
+
+StatusOr<RunStats> BriskRuntime::RunFor(double seconds) {
+  BRISK_RETURN_NOT_OK(Start());
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  return Stop();
+}
+
+}  // namespace brisk::engine

@@ -1,0 +1,73 @@
+// BriskRuntime: instantiates a placed execution plan into tasks +
+// channels, runs them on dedicated threads, and reports run statistics.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/topology.h"
+#include "common/status.h"
+#include "engine/channel.h"
+#include "engine/config.h"
+#include "engine/task.h"
+#include "hardware/numa_emulator.h"
+#include "model/execution_plan.h"
+
+namespace brisk::engine {
+
+/// Statistics for one engine run.
+struct RunStats {
+  double duration_s = 0.0;
+  std::vector<TaskStats> tasks;  ///< indexed by plan instance id
+  uint64_t total_emitted = 0;
+  uint64_t total_consumed = 0;
+};
+
+/// Owns tasks, channels and threads for one deployed application.
+///
+/// Lifecycle: Create() -> Start() -> (workload runs) -> Stop().
+/// Throughput/latency are observed through the application's
+/// SinkTelemetry (apps/common_ops.h), which sink operators update.
+class BriskRuntime {
+ public:
+  /// Builds the runtime: instantiates every operator replica via its
+  /// factory, wires one SPSC channel per (producer instance, consumer
+  /// instance) edge, and prepares operators. The plan must be fully
+  /// placed; the topology must outlive the runtime.
+  static StatusOr<std::unique_ptr<BriskRuntime>> Create(
+      const api::Topology* topo, const model::ExecutionPlan& plan,
+      EngineConfig config, const hw::NumaEmulator* numa = nullptr);
+
+  ~BriskRuntime();
+
+  BriskRuntime(const BriskRuntime&) = delete;
+  BriskRuntime& operator=(const BriskRuntime&) = delete;
+
+  /// Spawns one thread per task. Idempotent-error: fails if running.
+  Status Start();
+
+  /// Signals stop, joins all threads, and returns run statistics.
+  RunStats Stop();
+
+  /// Convenience: Start, sleep `seconds` of wall-clock, Stop.
+  StatusOr<RunStats> RunFor(double seconds);
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+
+ private:
+  BriskRuntime() = default;
+
+  const api::Topology* topo_ = nullptr;
+  EngineConfig config_;
+  std::vector<int> instance_sockets_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::chrono::steady_clock::time_point started_at_;
+};
+
+}  // namespace brisk::engine

@@ -1,0 +1,262 @@
+#include "engine/task.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace brisk::engine {
+
+namespace {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+inline int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Heap-allocated per-tuple header a non-jumbo runtime would carry for
+/// every tuple (metadata + context, §5.2).
+struct SimulatedTupleHeader {
+  int64_t source_task;
+  int64_t stream;
+  int64_t sequence;
+  char context[32];
+};
+
+}  // namespace
+
+int Task::AddBuffer() {
+  buffers_.emplace_back();
+  return static_cast<int>(buffers_.size()) - 1;
+}
+
+Status Task::Prepare(const api::OperatorContext& ctx) {
+  if (spout_) return spout_->Prepare(ctx);
+  if (bolt_) return bolt_->Prepare(ctx);
+  return Status::FailedPrecondition("task has neither spout nor bolt");
+}
+
+void Task::LegacyPerTupleWork(const Tuple& t) {
+  if (config_.duplicate_headers) {
+    // Real allocator churn: the duplicated metadata object a per-tuple
+    // runtime allocates and immediately abandons.
+    auto header = std::make_unique<SimulatedTupleHeader>();
+    header->source_task = instance_id_;
+    header->stream = t.stream_id;
+    header->sequence = static_cast<int64_t>(stats_.tuples_out);
+    // Touch it so the allocation is not elided.
+    if (header->context[0] != 0) stats_.backpressure_spins += 0;
+  }
+  if (config_.extra_condition_checks) {
+    // Guard/bookkeeping work (~dozens of branches): checksum the
+    // field metadata the way exception scaffolding and ACK tracking
+    // walk each tuple in a distributed runtime.
+    uint64_t h = 1469598103934665603ULL;
+    for (const auto& f : t.fields) {
+      h = (h ^ static_cast<uint64_t>(f.index())) * 1099511628211ULL;
+      h = (h ^ FieldSizeBytes(f)) * 1099511628211ULL;
+    }
+    if ((h & 0xFFF) == 0xABC) ++stats_.backpressure_spins;  // keep live
+  }
+}
+
+void Task::EmitTo(uint16_t stream_id, Tuple t) {
+  ++stats_.tuples_out;
+  LegacyPerTupleWork(t);
+  t.stream_id = stream_id;
+  for (auto& route : routes_) {
+    if (route.stream_id != stream_id) continue;
+    switch (route.grouping) {
+      case api::GroupingType::kShuffle: {
+        const size_t i = route.rr_cursor++ % route.channels.size();
+        JumboTuple& buf = buffers_[route.buffer_index[i]];
+        buf.tuples.push_back(t);
+        if (static_cast<int>(buf.tuples.size()) >= config_.batch_size) {
+          FlushBuffer(route.buffer_index[i], route.channels[i], false);
+        }
+        break;
+      }
+      case api::GroupingType::kFields: {
+        const size_t i =
+            HashField(t.fields[route.key_field]) % route.channels.size();
+        JumboTuple& buf = buffers_[route.buffer_index[i]];
+        buf.tuples.push_back(t);
+        if (static_cast<int>(buf.tuples.size()) >= config_.batch_size) {
+          FlushBuffer(route.buffer_index[i], route.channels[i], false);
+        }
+        break;
+      }
+      case api::GroupingType::kBroadcast: {
+        for (size_t i = 0; i < route.channels.size(); ++i) {
+          JumboTuple& buf = buffers_[route.buffer_index[i]];
+          buf.tuples.push_back(t);
+          if (static_cast<int>(buf.tuples.size()) >= config_.batch_size) {
+            FlushBuffer(route.buffer_index[i], route.channels[i], false);
+          }
+        }
+        break;
+      }
+      case api::GroupingType::kGlobal: {
+        JumboTuple& buf = buffers_[route.buffer_index[0]];
+        buf.tuples.push_back(t);
+        if (static_cast<int>(buf.tuples.size()) >= config_.batch_size) {
+          FlushBuffer(route.buffer_index[0], route.channels[0], false);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Task::FlushBuffer(int buffer_idx, Channel* channel, bool force) {
+  JumboTuple& buf = buffers_[buffer_idx];
+  if (buf.tuples.empty()) return;
+  if (!force && static_cast<int>(buf.tuples.size()) < config_.batch_size) {
+    return;
+  }
+  Envelope env;
+  env.count = static_cast<uint32_t>(buf.tuples.size());
+  env.from_instance = instance_id_;
+  if (config_.serialize_tuples) {
+    env.bytes = std::make_unique<std::vector<uint8_t>>();
+    SerializeBatch(buf.tuples, env.bytes.get());
+    buf.tuples.clear();
+  } else {
+    auto batch = std::make_unique<JumboTuple>();
+    batch->producer_task = instance_id_;
+    batch->batch_seq = batch_seq_++;
+    batch->tuples = std::move(buf.tuples);
+    buf.tuples.clear();
+    env.batch = std::move(batch);
+  }
+  ++stats_.batches_out;
+  // Back-pressure: spin until the consumer drains (or we are stopped,
+  // in which case the in-flight batch is dropped).
+  while (!channel->TryPush(std::move(env))) {
+    ++stats_.backpressure_spins;
+    if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) return;
+    CpuRelax();
+  }
+}
+
+void Task::FlushAll(bool force) {
+  for (auto& route : routes_) {
+    for (size_t i = 0; i < route.channels.size(); ++i) {
+      FlushBuffer(route.buffer_index[i], route.channels[i], force);
+    }
+  }
+}
+
+void Task::Consume(Envelope env) {
+  std::vector<Tuple> local_tuples;
+  const std::vector<Tuple>* tuples = nullptr;
+  if (!env.bytes && !env.batch) return;  // dropped/empty envelope
+  if (env.bytes) {
+    auto decoded = DeserializeBatch(*env.bytes, env.count);
+    BRISK_CHECK(decoded.ok()) << decoded.status().ToString();
+    local_tuples = std::move(decoded).value();
+    tuples = &local_tuples;
+  } else {
+    tuples = &env.batch->tuples;
+  }
+  // NUMA charge: the consumer-side stall of fetching a remote batch
+  // (emulated busy-wait, DESIGN.md §1), one Formula-2 cost per tuple.
+  if (numa_ != nullptr && numa_->enabled() && !tuples->empty() &&
+      instance_sockets_ != nullptr && env.from_instance >= 0) {
+    const int from_socket = (*instance_sockets_)[env.from_instance];
+    if (from_socket != socket_ && from_socket >= 0 && socket_ >= 0) {
+      const double per_tuple_ns = numa_->machine().FetchCostNs(
+          from_socket, socket_,
+          static_cast<double>(tuples->front().SizeBytes()));
+      hw::SpinForNs(
+          static_cast<int64_t>(per_tuple_ns * tuples->size()));
+    }
+  }
+  const int64_t t0 = NowNs();
+  for (const Tuple& t : *tuples) {
+    if (config_.extra_condition_checks) LegacyPerTupleWork(t);
+    bolt_->Process(t, this);
+  }
+  stats_.busy_ns += static_cast<uint64_t>(NowNs() - t0);
+  stats_.tuples_in += tuples->size();
+  ++stats_.batches_in;
+}
+
+void Task::RunSpout(const std::atomic<bool>* stop) {
+  last_refill_ns_ = NowNs();
+  while (!stop->load(std::memory_order_relaxed)) {
+    if (rate_per_instance_ > 0.0) {
+      const int64_t now = NowNs();
+      tokens_ += static_cast<double>(now - last_refill_ns_) * 1e-9 *
+                 rate_per_instance_;
+      last_refill_ns_ = now;
+      tokens_ = std::min(tokens_, 4.0 * config_.batch_size);
+      if (tokens_ < config_.batch_size) {
+        FlushAll(true);
+        CpuRelax();
+        continue;
+      }
+      tokens_ -= config_.batch_size;
+    }
+    const int64_t t0 = NowNs();
+    const size_t produced =
+        spout_->NextBatch(static_cast<size_t>(config_.batch_size), this);
+    stats_.busy_ns += static_cast<uint64_t>(NowNs() - t0);
+    stats_.tuples_in += produced;
+    if (produced == 0) break;  // bounded source exhausted
+  }
+  FlushAll(true);
+}
+
+void Task::RunBolt(const std::atomic<bool>* stop) {
+  int idle_spins = 0;
+  while (!stop->load(std::memory_order_relaxed)) {
+    bool any = false;
+    for (size_t k = 0; k < inputs_.size(); ++k) {
+      Channel* ch = inputs_[(in_cursor_ + k) % inputs_.size()];
+      Envelope env;
+      if (ch->TryPop(&env)) {
+        in_cursor_ = (in_cursor_ + k + 1) % inputs_.size();
+        Consume(std::move(env));
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      // Idle: push out partial batches so low-rate streams progress,
+      // then back off briefly.
+      FlushAll(true);
+      if (++idle_spins > 64) {
+        std::this_thread::yield();
+        idle_spins = 0;
+      } else {
+        CpuRelax();
+      }
+    } else {
+      idle_spins = 0;
+    }
+  }
+  if (bolt_) bolt_->Flush(this);
+  FlushAll(true);
+}
+
+void Task::Run(const std::atomic<bool>* stop) {
+  stop_ = stop;
+  if (spout_) {
+    RunSpout(stop);
+  } else {
+    RunBolt(stop);
+  }
+}
+
+}  // namespace brisk::engine

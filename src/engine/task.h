@@ -1,0 +1,136 @@
+// Task: the basic processing unit of BriskStream (Appendix A) — an
+// executor wrapping one operator replica plus a partition controller
+// that buffers output tuples into per-consumer jumbo tuples.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "api/operator.h"
+#include "api/topology.h"
+#include "engine/channel.h"
+#include "engine/config.h"
+#include "hardware/numa_emulator.h"
+
+namespace brisk::engine {
+
+/// One outgoing route of a task: a topology edge materialized against
+/// the consumer's replicas.
+struct OutRoute {
+  uint16_t stream_id = 0;
+  api::GroupingType grouping = api::GroupingType::kShuffle;
+  size_t key_field = 0;
+  /// One entry per consumer replica (kGlobal keeps only replica 0);
+  /// parallel to `buffers` indices stored here.
+  std::vector<Channel*> channels;
+  std::vector<int> buffer_index;  ///< into Task::buffers_
+  size_t rr_cursor = 0;
+};
+
+/// Counters a task exports. Written only by the owning executor
+/// thread; other threads may read them racily for monitoring (the §5.3
+/// statistics-collection loop) — individual counters are plain 64-bit
+/// stores, so snapshots are approximately consistent.
+struct TaskStats {
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  uint64_t batches_in = 0;
+  uint64_t batches_out = 0;
+  uint64_t backpressure_spins = 0;
+  /// Wall time spent inside operator Process()/NextBatch() calls, ns.
+  uint64_t busy_ns = 0;
+};
+
+/// The partition controller + executor for one placed instance.
+///
+/// Single-threaded by construction: Run() is the thread body; all other
+/// methods are wiring performed before start.
+class Task : public api::OutputCollector {
+ public:
+  Task(int instance_id, int socket, EngineConfig config,
+       const hw::NumaEmulator* numa)
+      : instance_id_(instance_id),
+        socket_(socket),
+        config_(config),
+        numa_(numa) {}
+
+  /// Wiring (pre-start).
+  void SetSpout(std::unique_ptr<api::Spout> spout) {
+    spout_ = std::move(spout);
+  }
+  void SetBolt(std::unique_ptr<api::Operator> bolt) {
+    bolt_ = std::move(bolt);
+  }
+  void AddInput(Channel* channel) { inputs_.push_back(channel); }
+  void AddOutRoute(OutRoute route) { routes_.push_back(std::move(route)); }
+  /// Registers one output buffer per channel; returns its index.
+  int AddBuffer();
+  /// Socket of every instance in the plan (for NUMA charging of
+  /// inbound batches); owned by the runtime, outlives the task.
+  void SetInstanceSockets(const std::vector<int>* sockets) {
+    instance_sockets_ = sockets;
+  }
+  /// Per-instance ingress rate (the runtime splits the topology rate
+  /// across spout replicas).
+  void SetSpoutRate(double tuples_per_sec) {
+    rate_per_instance_ = tuples_per_sec;
+  }
+
+  int instance_id() const { return instance_id_; }
+  int socket() const { return socket_; }
+  bool is_spout() const { return spout_ != nullptr; }
+
+  Status Prepare(const api::OperatorContext& ctx);
+
+  /// Thread body: processes until `*stop` becomes true.
+  void Run(const std::atomic<bool>* stop);
+
+  const TaskStats& stats() const { return stats_; }
+
+  // OutputCollector (called by the wrapped operator during Process).
+  void Emit(Tuple t) override { EmitTo(0, std::move(t)); }
+  void EmitTo(uint16_t stream_id, Tuple t) override;
+
+ private:
+  void RunSpout(const std::atomic<bool>* stop);
+  void RunBolt(const std::atomic<bool>* stop);
+
+  /// Handles one inbound envelope (NUMA charge, deserialize, process).
+  void Consume(Envelope env);
+
+  /// Moves a full (or, with force, partial) buffer into its channel,
+  /// spinning on back-pressure.
+  void FlushBuffer(int buffer_idx, Channel* channel, bool force);
+  void FlushAll(bool force);
+
+  /// Legacy per-tuple overhead work (§5.1's eliminated footprint).
+  void LegacyPerTupleWork(const Tuple& t);
+
+  int instance_id_;
+  int socket_;
+  EngineConfig config_;
+  const hw::NumaEmulator* numa_;
+
+  std::unique_ptr<api::Spout> spout_;
+  std::unique_ptr<api::Operator> bolt_;
+
+  std::vector<Channel*> inputs_;
+  const std::vector<int>* instance_sockets_ = nullptr;
+  size_t in_cursor_ = 0;
+  std::vector<OutRoute> routes_;
+  std::vector<JumboTuple> buffers_;
+  uint64_t batch_seq_ = 0;
+
+  const std::atomic<bool>* stop_ = nullptr;
+
+  // Spout rate limiting.
+  double tokens_ = 0.0;
+  int64_t last_refill_ns_ = 0;
+  double rate_per_instance_ = 0.0;
+
+  TaskStats stats_;
+};
+
+}  // namespace brisk::engine

@@ -1,0 +1,153 @@
+#include "hardware/machine_spec.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace brisk::hw {
+
+MachineSpec MachineSpec::Symmetric(int sockets, int cores_per_socket,
+                                   double core_ghz, double local_latency_ns,
+                                   double remote_latency_ns,
+                                   double local_bw_gbps,
+                                   double remote_bw_gbps) {
+  BRISK_CHECK(sockets > 0 && cores_per_socket > 0);
+  MachineSpec m;
+  m.name_ = "symmetric-" + std::to_string(sockets) + "s";
+  m.num_sockets_ = sockets;
+  m.cores_per_socket_ = cores_per_socket;
+  m.core_ghz_ = core_ghz;
+  m.local_bw_gbps_ = local_bw_gbps;
+  m.latency_ns_.assign(static_cast<size_t>(sockets) * sockets, 0.0);
+  m.bw_gbps_.assign(static_cast<size_t>(sockets) * sockets, 0.0);
+  m.tray_.assign(sockets, 0);
+  for (int i = 0; i < sockets; ++i) {
+    for (int j = 0; j < sockets; ++j) {
+      const size_t idx = static_cast<size_t>(i) * sockets + j;
+      m.latency_ns_[idx] = (i == j) ? local_latency_ns : remote_latency_ns;
+      m.bw_gbps_[idx] = (i == j) ? local_bw_gbps : remote_bw_gbps;
+    }
+  }
+  return m;
+}
+
+namespace {
+
+/// Fills `m`'s matrices for a two-tray 8-socket machine.
+void FillTwoTray(std::vector<double>* lat, std::vector<double>* bw,
+                 std::vector<int>* tray, double local_lat, double hop1_lat,
+                 double max_lat, double local_bw, double hop1_bw,
+                 double max_bw) {
+  constexpr int kSockets = 8;
+  lat->assign(kSockets * kSockets, 0.0);
+  bw->assign(kSockets * kSockets, 0.0);
+  tray->assign(kSockets, 0);
+  for (int s = 0; s < kSockets; ++s) (*tray)[s] = s / 4;
+  for (int i = 0; i < kSockets; ++i) {
+    for (int j = 0; j < kSockets; ++j) {
+      const size_t idx = static_cast<size_t>(i) * kSockets + j;
+      if (i == j) {
+        (*lat)[idx] = local_lat;
+        (*bw)[idx] = local_bw;
+        continue;
+      }
+      const bool same_tray = (*tray)[i] == (*tray)[j];
+      // Deterministic per-pair spread so distinct pairs measure
+      // slightly differently, as on real hardware; preserves ordering.
+      const double skew = 1.0 + 0.002 * std::abs(i - j);
+      (*lat)[idx] = (same_tray ? hop1_lat : max_lat) * skew;
+      (*bw)[idx] = (same_tray ? hop1_bw : max_bw) / skew;
+    }
+  }
+}
+
+}  // namespace
+
+MachineSpec MachineSpec::ServerA() {
+  MachineSpec m;
+  m.name_ = "ServerA-KunLun";
+  m.num_sockets_ = 8;
+  m.cores_per_socket_ = 18;
+  m.core_ghz_ = 1.2;  // power-save governor (Table 2)
+  m.local_bw_gbps_ = 54.3;
+  FillTwoTray(&m.latency_ns_, &m.bw_gbps_, &m.tray_,
+              /*local_lat=*/50.0, /*hop1_lat=*/307.7, /*max_lat=*/548.0,
+              /*local_bw=*/54.3, /*hop1_bw=*/13.2, /*max_bw=*/5.8);
+  return m;
+}
+
+MachineSpec MachineSpec::ServerB() {
+  MachineSpec m;
+  m.name_ = "ServerB-DL980";
+  m.num_sockets_ = 8;
+  m.cores_per_socket_ = 8;
+  m.core_ghz_ = 2.27;  // performance governor (Table 2)
+  m.local_bw_gbps_ = 24.2;
+  // The XNC keeps remote bandwidth nearly flat across distance
+  // (10.6 vs 10.8 GB/s in Table 2).
+  FillTwoTray(&m.latency_ns_, &m.bw_gbps_, &m.tray_,
+              /*local_lat=*/50.0, /*hop1_lat=*/185.2, /*max_lat=*/349.6,
+              /*local_bw=*/24.2, /*hop1_bw=*/10.6, /*max_bw=*/10.8);
+  return m;
+}
+
+StatusOr<MachineSpec> MachineSpec::Truncated(int sockets) const {
+  if (sockets <= 0 || sockets > num_sockets_) {
+    return Status::InvalidArgument(
+        "Truncated: sockets must be in [1, " +
+        std::to_string(num_sockets_) + "], got " + std::to_string(sockets));
+  }
+  MachineSpec m;
+  m.name_ = name_ + "-" + std::to_string(sockets) + "s";
+  m.num_sockets_ = sockets;
+  m.cores_per_socket_ = cores_per_socket_;
+  m.core_ghz_ = core_ghz_;
+  m.cache_line_bytes_ = cache_line_bytes_;
+  m.local_bw_gbps_ = local_bw_gbps_;
+  m.latency_ns_.resize(static_cast<size_t>(sockets) * sockets);
+  m.bw_gbps_.resize(static_cast<size_t>(sockets) * sockets);
+  m.tray_.resize(sockets);
+  for (int i = 0; i < sockets; ++i) {
+    m.tray_[i] = tray_[i];
+    for (int j = 0; j < sockets; ++j) {
+      m.latency_ns_[static_cast<size_t>(i) * sockets + j] = LatencyNs(i, j);
+      m.bw_gbps_[static_cast<size_t>(i) * sockets + j] =
+          ChannelBandwidthGbps(i, j);
+    }
+  }
+  return m;
+}
+
+int MachineSpec::Hops(int from, int to) const {
+  if (from == to) return 0;
+  if (tray_[from] == tray_[to]) return 1;
+  return 2;
+}
+
+double MachineSpec::FetchCostNs(int from, int to, double tuple_bytes) const {
+  if (from == to) return 0.0;  // covered by T_e when collocated
+  const double lines = std::ceil(tuple_bytes / cache_line_bytes_);
+  return lines * LatencyNs(from, to);
+}
+
+std::string MachineSpec::ToString() const {
+  std::ostringstream os;
+  os << name_ << ": " << num_sockets_ << " sockets x " << cores_per_socket_
+     << " cores @ " << core_ghz_ << " GHz\n";
+  os << "  local B/W " << local_bw_gbps_ << " GB/s, cache line "
+     << cache_line_bytes_ << " B\n";
+  os << "  latency ns (row=from):\n";
+  for (int i = 0; i < num_sockets_; ++i) {
+    os << "   ";
+    for (int j = 0; j < num_sockets_; ++j) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), " %7.1f", LatencyNs(i, j));
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace brisk::hw

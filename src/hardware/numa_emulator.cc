@@ -1,0 +1,19 @@
+#include "hardware/numa_emulator.h"
+
+namespace brisk::hw {
+
+void SpinForNs(int64_t ns) {
+  if (ns <= 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  // Busy spin: the emulated stall must consume core time the way a
+  // dependent remote load does; yielding or sleeping would model an
+  // entirely different (blocking) cost.
+  while (std::chrono::steady_clock::now() < deadline) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+}  // namespace brisk::hw

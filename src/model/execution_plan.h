@@ -1,0 +1,80 @@
+// Streaming execution plan (§3): replication level per operator plus a
+// placement of every replica ("instance") onto a CPU socket.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/topology.h"
+#include "common/status.h"
+
+namespace brisk::model {
+
+/// One replica of a logical operator.
+struct PlanInstance {
+  int op = -1;       ///< operator id in the topology
+  int replica = 0;   ///< replica index within the operator
+  int socket = -1;   ///< assigned socket, -1 while unplaced
+};
+
+/// Replication + placement for one topology. Cheap to copy (two flat
+/// vectors), which the branch-and-bound search relies on.
+class ExecutionPlan {
+ public:
+  ExecutionPlan() = default;
+
+  /// Builds an unplaced plan with the given per-operator replication.
+  static StatusOr<ExecutionPlan> Create(const api::Topology* topo,
+                                        std::vector<int> replication);
+
+  /// Builds an unplaced plan using each operator's base parallelism.
+  static StatusOr<ExecutionPlan> CreateDefault(const api::Topology* topo);
+
+  const api::Topology& topology() const { return *topo_; }
+
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+  const PlanInstance& instance(int id) const { return instances_[id]; }
+  const std::vector<PlanInstance>& instances() const { return instances_; }
+
+  int replication(int op) const { return replication_[op]; }
+  const std::vector<int>& replication() const { return replication_; }
+  int total_replicas() const { return num_instances(); }
+
+  /// Global instance id of (op, replica).
+  int InstanceId(int op, int replica) const {
+    return first_instance_[op] + replica;
+  }
+
+  /// Instance ids belonging to `op`: [first, first + replication).
+  int FirstInstanceOf(int op) const { return first_instance_[op]; }
+
+  void SetSocket(int instance_id, int socket) {
+    instances_[instance_id].socket = socket;
+  }
+  int SocketOf(int instance_id) const {
+    return instances_[instance_id].socket;
+  }
+
+  /// True when every instance has a socket.
+  bool FullyPlaced() const;
+
+  /// Number of instances currently assigned to `socket`.
+  int InstancesOnSocket(int socket) const;
+
+  /// Places every instance on socket 0 (the bounding-function seed and
+  /// the trivial single-socket plan).
+  void PlaceAllOn(int socket);
+
+  /// Clears all placements back to -1.
+  void ClearPlacement();
+
+  std::string ToString() const;
+
+ private:
+  const api::Topology* topo_ = nullptr;
+  std::vector<int> replication_;     // per op
+  std::vector<int> first_instance_;  // per op, prefix sum
+  std::vector<PlanInstance> instances_;
+};
+
+}  // namespace brisk::model

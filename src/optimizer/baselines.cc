@@ -1,0 +1,155 @@
+#include "optimizer/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace brisk::opt {
+
+using model::ExecutionPlan;
+using model::ModelOptions;
+using model::PerfModel;
+
+namespace {
+
+/// Instance ids in topological operator order (spouts first).
+std::vector<int> TopoOrderedInstances(const ExecutionPlan& plan) {
+  std::vector<int> out;
+  out.reserve(plan.num_instances());
+  for (const int op : plan.topology().topological_order()) {
+    for (int r = 0; r < plan.replication(op); ++r) {
+      out.push_back(plan.InstanceId(op, r));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ExecutionPlan> PlaceFirstFit(const PerfModel& model,
+                                      ExecutionPlan plan,
+                                      double input_rate_tps) {
+  // Greedy first-fit over topologically sorted instances, the
+  // T-Storm-style traffic-minimizing heuristic (Table 6): consecutive
+  // (connected) operators pack into the lowest-numbered socket with a
+  // free core, which collocates neighbours — until a socket fills and
+  // the pipeline is cut at whatever edge happens to cross the boundary.
+  // Its §6.4 failure mode is exactly this greed: early stages
+  // monopolize socket 0 regardless of the downstream demand ("often
+  // ends up oversubscribing a few CPU sockets").
+  (void)input_rate_tps;
+  const auto& machine = model.machine();
+  const int m = machine.num_sockets();
+  plan.ClearPlacement();
+  std::vector<int> free(m, machine.cores_per_socket());
+
+  for (const int inst : TopoOrderedInstances(plan)) {
+    int chosen = -1;
+    for (int s = 0; s < m; ++s) {
+      if (free[s] > 0) {
+        chosen = s;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      // Not-able-to-progress: relax constraints, oversubscribe the
+      // least-loaded socket.
+      chosen = static_cast<int>(
+          std::max_element(free.begin(), free.end()) - free.begin());
+    }
+    plan.SetSocket(inst, chosen);
+    --free[chosen];
+  }
+  return plan;
+}
+
+StatusOr<ExecutionPlan> PlaceRoundRobin(const hw::MachineSpec& machine,
+                                        ExecutionPlan plan) {
+  const int m = machine.num_sockets();
+  plan.ClearPlacement();
+  std::vector<int> free(m, machine.cores_per_socket());
+  int cursor = 0;
+  for (const int inst : TopoOrderedInstances(plan)) {
+    int tried = 0;
+    while (tried < m && free[cursor % m] <= 0) {
+      ++cursor;
+      ++tried;
+    }
+    const int s = cursor % m;
+    plan.SetSocket(inst, s);
+    // Oversubscribes once every socket is full, like the real RR
+    // strategy gradually relaxing constraints.
+    if (free[s] > 0) --free[s];
+    ++cursor;
+  }
+  return plan;
+}
+
+StatusOr<ExecutionPlan> PlaceOsDefault(const hw::MachineSpec& machine,
+                                       ExecutionPlan plan) {
+  plan.ClearPlacement();
+  std::vector<int> load(machine.num_sockets(), 0);
+  for (const int inst : TopoOrderedInstances(plan)) {
+    // Kernel-style balancing: each new thread lands on the least-
+    // occupied socket regardless of who it talks to.
+    const int s = static_cast<int>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    plan.SetSocket(inst, s);
+    ++load[s];
+  }
+  return plan;
+}
+
+StatusOr<ExecutionPlan> RandomPlan(const api::Topology& topo,
+                                   const hw::MachineSpec& machine,
+                                   Rng* rng, int max_total_replicas) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  int limit = max_total_replicas > 0 ? max_total_replicas
+                                     : machine.total_cores();
+  limit = std::min(limit, machine.total_cores());
+  const int n_ops = topo.num_operators();
+  if (n_ops > limit) {
+    return Status::InvalidArgument("more operators than replica budget");
+  }
+
+  // "Replication level of each operator is randomly increased until the
+  // total replication level hits the scaling limit" (§6.4).
+  std::vector<int> repl(n_ops, 1);
+  int total = n_ops;
+  while (total < limit) {
+    ++repl[rng->NextBounded(n_ops)];
+    ++total;
+  }
+
+  BRISK_ASSIGN_OR_RETURN(ExecutionPlan plan,
+                         ExecutionPlan::Create(&topo, std::move(repl)));
+
+  // Uniform random placement over sockets with a free core.
+  std::vector<int> free(machine.num_sockets(), machine.cores_per_socket());
+  for (int i = 0; i < plan.num_instances(); ++i) {
+    std::vector<int> options;
+    for (int s = 0; s < machine.num_sockets(); ++s) {
+      if (free[s] > 0) options.push_back(s);
+    }
+    if (options.empty()) {
+      return Status::Internal("random plan ran out of cores");
+    }
+    const int s = options[rng->NextBounded(options.size())];
+    plan.SetSocket(i, s);
+    --free[s];
+  }
+  return plan;
+}
+
+StatusOr<RlasResult> OptimizeRlasFixed(const hw::MachineSpec& machine,
+                                       const model::ProfileSet& profiles,
+                                       const api::Topology& topo,
+                                       model::FetchCostMode fixed_mode,
+                                       RlasOptions options) {
+  options.placement.fetch_mode = fixed_mode;
+  RlasOptimizer optimizer(&machine, &profiles, std::move(options));
+  return optimizer.Optimize(topo);
+}
+
+}  // namespace brisk::opt

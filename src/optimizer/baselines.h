@@ -1,0 +1,55 @@
+// Competing planners the paper evaluates RLAS against (§6.4, Table 6):
+//   FF  — first-fit over topologically sorted operators (greedy
+//         traffic-minimizing, as in T-Storm-style schedulers),
+//   RR  — round-robin across sockets (resource balancing, R-Storm-like),
+//   OS  — placement left to the operating system's load balancer,
+//   random plans — the Fig. 14 Monte-Carlo baseline,
+// plus helpers for the RLAS_fix(L)/RLAS_fix(U) ablations (Fig. 12),
+// which reuse the B&B but under a fixed fetch-cost assumption.
+#pragma once
+
+#include "common/rng.h"
+#include "model/perf_model.h"
+#include "optimizer/rlas.h"
+
+namespace brisk::opt {
+
+/// First-Fit: operators are topologically sorted and each instance goes
+/// to the first socket that accepts it without violating constraints
+/// (checked with the performance model). When no socket accepts —
+/// the "not-able-to-progress" situation §6.4 describes — constraints
+/// are relaxed and the instance goes to the least-loaded socket.
+StatusOr<model::ExecutionPlan> PlaceFirstFit(const model::PerfModel& model,
+                                             model::ExecutionPlan plan,
+                                             double input_rate_tps);
+
+/// Round-Robin: instances in topological order cycle across sockets,
+/// skipping sockets without a free core. Balances occupancy but ignores
+/// communication cost entirely.
+StatusOr<model::ExecutionPlan> PlaceRoundRobin(
+    const hw::MachineSpec& machine, model::ExecutionPlan plan);
+
+/// OS emulation: mimics a kernel load balancer that puts each new
+/// thread on the least-occupied socket, oblivious to the dataflow.
+StatusOr<model::ExecutionPlan> PlaceOsDefault(const hw::MachineSpec& machine,
+                                              model::ExecutionPlan plan);
+
+/// Fig. 14 Monte-Carlo baseline: random replication grown until the
+/// total hits `max_total_replicas` (default: machine core count), then
+/// uniformly random placement over sockets with free cores.
+StatusOr<model::ExecutionPlan> RandomPlan(const api::Topology& topo,
+                                          const hw::MachineSpec& machine,
+                                          Rng* rng,
+                                          int max_total_replicas = -1);
+
+/// RLAS_fix ablation (Fig. 12): runs the full RLAS loop but optimizes
+/// under a fixed fetch-cost assumption (kAlwaysRemote = fix(L),
+/// kAlwaysLocal = fix(U)). The returned plan should then be re-evaluated
+/// (or simulated) under the true relative-location model.
+StatusOr<RlasResult> OptimizeRlasFixed(const hw::MachineSpec& machine,
+                                       const model::ProfileSet& profiles,
+                                       const api::Topology& topo,
+                                       model::FetchCostMode fixed_mode,
+                                       RlasOptions options = {});
+
+}  // namespace brisk::opt

@@ -1,0 +1,61 @@
+#include "optimizer/compressed_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace brisk::opt {
+
+CompressedGraph CompressedGraph::Build(const model::ExecutionPlan& plan,
+                                       int ratio) {
+  BRISK_CHECK(ratio >= 1) << "compress ratio must be >= 1";
+  const api::Topology& topo = plan.topology();
+
+  CompressedGraph g;
+  g.units_of_op_.resize(topo.num_operators());
+  g.producer_ops_.resize(topo.num_operators());
+
+  // Units, operator by operator in topological order so the decision
+  // list later comes out producer-major.
+  for (const int op : topo.topological_order()) {
+    const int repl = plan.replication(op);
+    for (int start = 0; start < repl; start += ratio) {
+      Unit u;
+      u.id = static_cast<int>(g.units_.size());
+      u.op = op;
+      for (int r = start; r < std::min(start + ratio, repl); ++r) {
+        u.instance_ids.push_back(plan.InstanceId(op, r));
+      }
+      g.units_of_op_[op].push_back(u.id);
+      g.units_.push_back(std::move(u));
+    }
+  }
+
+  // Unique producer ops per consumer.
+  for (const auto& e : topo.edges()) {
+    auto& v = g.producer_ops_[e.consumer_op];
+    if (std::find(v.begin(), v.end(), e.producer_op) == v.end()) {
+      v.push_back(e.producer_op);
+    }
+  }
+
+  // Collocation decisions: one per (producer unit, consumer unit) pair
+  // of each connected operator pair, in topological producer order.
+  std::set<std::pair<int, int>> seen_op_pairs;
+  for (const int op : topo.topological_order()) {
+    for (const auto& e : topo.OutEdges(op)) {
+      if (!seen_op_pairs.emplace(e.producer_op, e.consumer_op).second) {
+        continue;  // multiple streams between the same ops: one decision set
+      }
+      for (const int pu : g.units_of_op_[e.producer_op]) {
+        for (const int cu : g.units_of_op_[e.consumer_op]) {
+          g.decisions_.push_back({pu, cu});
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace brisk::opt

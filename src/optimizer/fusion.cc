@@ -1,0 +1,283 @@
+#include "optimizer/fusion.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace brisk::opt {
+
+namespace {
+
+/// Collector that feeds a producer's emissions straight into the
+/// downstream operator within the same instance (no queue, no T_f).
+class InlineCollector : public api::OutputCollector {
+ public:
+  InlineCollector(api::Operator* downstream, api::OutputCollector* out)
+      : downstream_(downstream), out_(out) {}
+
+  void Emit(Tuple t) override { downstream_->Process(t, out_); }
+  void EmitTo(uint16_t stream_id, Tuple t) override {
+    // Fusion legality restricts the producer to a single (default)
+    // output stream.
+    (void)stream_id;
+    downstream_->Process(t, out_);
+  }
+
+ private:
+  api::Operator* downstream_;
+  api::OutputCollector* out_;
+};
+
+/// Two bolts executing back-to-back in one instance.
+class FusedBolt : public api::Operator {
+ public:
+  FusedBolt(std::unique_ptr<api::Operator> up,
+            std::unique_ptr<api::Operator> down)
+      : up_(std::move(up)), down_(std::move(down)) {}
+
+  Status Prepare(const api::OperatorContext& ctx) override {
+    BRISK_RETURN_NOT_OK(up_->Prepare(ctx));
+    return down_->Prepare(ctx);
+  }
+
+  void Process(const Tuple& in, api::OutputCollector* out) override {
+    InlineCollector inline_out(down_.get(), out);
+    up_->Process(in, &inline_out);
+  }
+
+  void Flush(api::OutputCollector* out) override {
+    InlineCollector inline_out(down_.get(), out);
+    up_->Flush(&inline_out);
+    down_->Flush(out);
+  }
+
+ private:
+  std::unique_ptr<api::Operator> up_;
+  std::unique_ptr<api::Operator> down_;
+};
+
+/// A spout fused with its first bolt.
+class FusedSpout : public api::Spout {
+ public:
+  FusedSpout(std::unique_ptr<api::Spout> up,
+             std::unique_ptr<api::Operator> down)
+      : up_(std::move(up)), down_(std::move(down)) {}
+
+  Status Prepare(const api::OperatorContext& ctx) override {
+    BRISK_RETURN_NOT_OK(up_->Prepare(ctx));
+    return down_->Prepare(ctx);
+  }
+
+  size_t NextBatch(size_t max_tuples, api::OutputCollector* out) override {
+    InlineCollector inline_out(down_.get(), out);
+    return up_->NextBatch(max_tuples, &inline_out);
+  }
+
+ private:
+  std::unique_ptr<api::Spout> up_;
+  std::unique_ptr<api::Operator> down_;
+};
+
+}  // namespace
+
+std::vector<FusionCandidate> FindFusionCandidates(const api::Topology& topo) {
+  std::vector<FusionCandidate> out;
+  for (const auto& op : topo.ops()) {
+    const auto out_edges = topo.OutEdges(op.id);
+    if (out_edges.size() != 1) continue;
+    const auto& e = out_edges[0];
+    if (e.stream_id != 0) continue;  // producer must use its default stream
+    if (e.grouping != api::GroupingType::kShuffle) continue;
+    if (topo.InEdges(e.consumer_op).size() != 1) continue;
+    if (topo.op(e.consumer_op).is_spout) continue;  // impossible, defensive
+    out.push_back({op.id, e.consumer_op});
+  }
+  return out;
+}
+
+StatusOr<FusedApp> FuseOperators(const api::Topology& topo,
+                                 const model::ProfileSet& profiles,
+                                 const FusionCandidate& candidate) {
+  const int p = candidate.producer_op;
+  const int c = candidate.consumer_op;
+  if (p < 0 || p >= topo.num_operators() || c < 0 ||
+      c >= topo.num_operators()) {
+    return Status::InvalidArgument("fusion candidate out of range");
+  }
+  // Revalidate legality against this topology.
+  const auto legal = FindFusionCandidates(topo);
+  if (std::none_of(legal.begin(), legal.end(), [&](const auto& f) {
+        return f.producer_op == p && f.consumer_op == c;
+      })) {
+    return Status::FailedPrecondition(
+        "fusing '" + topo.op(p).name + "' -> '" + topo.op(c).name +
+        "' would not preserve semantics");
+  }
+
+  const auto& prod = topo.op(p);
+  const auto& cons = topo.op(c);
+  const std::string fused_name = prod.name + "+" + cons.name;
+
+  // Map old op id -> new operator name (the pair maps to fused_name).
+  auto new_name = [&](int op) -> std::string {
+    if (op == p || op == c) return fused_name;
+    return topo.op(op).name;
+  };
+
+  // Rebuild the topology with the pair collapsed: the fused operator
+  // inherits the producer's inputs and the consumer's outputs; the
+  // internal p->c edge vanishes.
+  api::TopologyBuilder b2(topo.name() + "-fused");
+  auto declare_subs = [&](api::TopologyBuilder::BoltDeclarer decl,
+                          int old_op) {
+    const auto in_edges =
+        old_op == p ? topo.InEdges(p) : topo.InEdges(old_op);
+    for (const auto& e : in_edges) {
+      const std::string producer_name = new_name(e.producer_op);
+      // Stream id mapping: the fused operator's streams are the
+      // consumer's; other operators keep their own.
+      std::string stream;
+      if (e.producer_op == c) {
+        stream = cons.output_streams[e.stream_id];
+      } else if (e.producer_op == p) {
+        continue;  // the fused-away internal edge
+      } else {
+        stream = topo.op(e.producer_op).output_streams[e.stream_id];
+      }
+      switch (e.grouping) {
+        case api::GroupingType::kShuffle:
+          decl.ShuffleFrom(producer_name, stream);
+          break;
+        case api::GroupingType::kFields:
+          decl.FieldsFrom(producer_name, e.key_field, stream);
+          break;
+        case api::GroupingType::kBroadcast:
+          decl.BroadcastFrom(producer_name, stream);
+          break;
+        case api::GroupingType::kGlobal:
+          decl.GlobalFrom(producer_name, stream);
+          break;
+      }
+    }
+  };
+
+  for (const auto& op : topo.ops()) {
+    if (op.id == c) continue;
+    if (op.id == p) {
+      if (prod.is_spout) {
+        auto spout_factory = prod.spout_factory;
+        auto bolt_factory = cons.bolt_factory;
+        auto decl = b2.AddSpout(
+            fused_name,
+            [spout_factory, bolt_factory] {
+              return std::make_unique<FusedSpout>(spout_factory(),
+                                                  bolt_factory());
+            },
+            prod.base_parallelism);
+        for (size_t s = 1; s < cons.output_streams.size(); ++s) {
+          decl.DeclareStream(cons.output_streams[s]);
+        }
+      } else {
+        auto up_factory = prod.bolt_factory;
+        auto down_factory = cons.bolt_factory;
+        auto decl = b2.AddBolt(
+            fused_name,
+            [up_factory, down_factory] {
+              return std::make_unique<FusedBolt>(up_factory(),
+                                                 down_factory());
+            },
+            prod.base_parallelism);
+        for (size_t s = 1; s < cons.output_streams.size(); ++s) {
+          decl.DeclareStream(cons.output_streams[s]);
+        }
+        declare_subs(decl, p);
+      }
+      continue;
+    }
+    if (op.is_spout) {
+      auto decl = b2.AddSpout(op.name, op.spout_factory,
+                              op.base_parallelism);
+      for (size_t s = 1; s < op.output_streams.size(); ++s) {
+        decl.DeclareStream(op.output_streams[s]);
+      }
+    } else {
+      auto decl = b2.AddBolt(op.name, op.bolt_factory, op.base_parallelism);
+      for (size_t s = 1; s < op.output_streams.size(); ++s) {
+        decl.DeclareStream(op.output_streams[s]);
+      }
+      // Consumers of the fused pair re-point edges from c to the fused
+      // name; declare_subs handles the renaming via new_name().
+      declare_subs(decl, op.id);
+    }
+  }
+
+  BRISK_ASSIGN_OR_RETURN(api::Topology fused, std::move(b2).Build());
+
+  // Derived profile: per input tuple the fused instance runs the
+  // producer once and the consumer sel(p) times.
+  BRISK_ASSIGN_OR_RETURN(model::OperatorProfile pp, profiles.Get(prod.name));
+  BRISK_ASSIGN_OR_RETURN(model::OperatorProfile cp, profiles.Get(cons.name));
+  const double sel_p = pp.selectivity.empty() ? 1.0 : pp.selectivity[0];
+  model::OperatorProfile fused_profile;
+  fused_profile.te_cycles = pp.te_cycles + sel_p * cp.te_cycles;
+  fused_profile.m_bytes = pp.m_bytes + sel_p * cp.m_bytes;
+  fused_profile.output_bytes = cp.output_bytes;
+  fused_profile.selectivity.clear();
+  for (const double s : cp.selectivity) {
+    fused_profile.selectivity.push_back(sel_p * s);
+  }
+
+  FusedApp result;
+  result.fused_name = fused_name;
+  for (const auto& [name, profile] : profiles.all()) {
+    if (name == prod.name || name == cons.name) continue;
+    result.profiles.Set(name, profile);
+  }
+  result.profiles.Set(fused_name, fused_profile);
+  result.topology = std::make_shared<api::Topology>(std::move(fused));
+  return result;
+}
+
+StatusOr<AutoFuseResult> AutoFuse(const api::Topology& topo,
+                                  const model::ProfileSet& profiles,
+                                  const hw::MachineSpec& machine,
+                                  RlasOptions options) {
+  AutoFuseResult result;
+  result.topology = std::make_shared<api::Topology>(topo);
+  result.profiles = profiles;
+
+  RlasOptimizer optimizer(&machine, &result.profiles, options);
+  BRISK_ASSIGN_OR_RETURN(RlasResult base,
+                         optimizer.Optimize(*result.topology));
+  result.baseline_throughput = base.model.throughput;
+  result.fused_throughput = base.model.throughput;
+
+  // Greedy loop: apply the best-improving fusion until none improves.
+  while (true) {
+    const auto candidates = FindFusionCandidates(*result.topology);
+    double best_tput = result.fused_throughput;
+    std::shared_ptr<const api::Topology> best_topo;
+    model::ProfileSet best_profiles;
+    for (const auto& candidate : candidates) {
+      auto fused =
+          FuseOperators(*result.topology, result.profiles, candidate);
+      if (!fused.ok()) continue;
+      RlasOptimizer opt(&machine, &fused->profiles, options);
+      auto plan = opt.Optimize(*fused->topology);
+      if (!plan.ok()) continue;
+      if (plan->model.throughput > best_tput * 1.001) {
+        best_tput = plan->model.throughput;
+        best_topo = fused->topology;
+        best_profiles = fused->profiles;
+      }
+    }
+    if (!best_topo) break;
+    result.topology = std::move(best_topo);
+    result.profiles = std::move(best_profiles);
+    result.fused_throughput = best_tput;
+    ++result.fusions_applied;
+  }
+  return result;
+}
+
+}  // namespace brisk::opt

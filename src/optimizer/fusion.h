@@ -1,0 +1,67 @@
+// Operator fusion — the Appendix D extension ("Taking operator fusion
+// as an example, which trades communication cost against pipeline
+// parallelism"). Fusing a producer-consumer pair removes the queue and
+// the potential RMA between them (the consumer's T_f disappears, the
+// pair executes back-to-back in one instance) at the price of a larger
+// combined T_e per instance, i.e. coarser pipeline parallelism.
+//
+// Fusion here is plan-level and semantics-preserving: it is only legal
+// when the consumer takes its sole input from the producer over a
+// shuffle edge (fields grouping pins keys to replicas; fusing would
+// re-partition state) and the producer feeds no one else.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/topology.h"
+#include "hardware/machine_spec.h"
+#include "model/operator_profile.h"
+#include "optimizer/rlas.h"
+
+namespace brisk::opt {
+
+/// A legal producer→consumer fusion opportunity.
+struct FusionCandidate {
+  int producer_op = -1;
+  int consumer_op = -1;
+};
+
+/// Finds all pairs where fusion preserves semantics: the producer has
+/// exactly one outgoing edge (on its default stream), the consumer
+/// exactly one incoming edge, and the edge is shuffle-grouped.
+std::vector<FusionCandidate> FindFusionCandidates(const api::Topology& topo);
+
+/// A topology with one fusion applied, plus matching profiles.
+struct FusedApp {
+  std::shared_ptr<const api::Topology> topology;
+  model::ProfileSet profiles;
+  std::string fused_name;  ///< "<producer>+<consumer>"
+};
+
+/// Rewrites `topo` with `candidate` fused into a single operator whose
+/// factory chains the two Process functions in one instance, and
+/// derives its profile: T_e' = T_e(p) + sel(p)·T_e(c), selectivity' =
+/// sel(p)·sel(c), outputs = consumer's outputs.
+StatusOr<FusedApp> FuseOperators(const api::Topology& topo,
+                                 const model::ProfileSet& profiles,
+                                 const FusionCandidate& candidate);
+
+/// Greedy auto-fusion: repeatedly applies the candidate whose fused
+/// plan (RLAS-optimized on `machine`) models the highest throughput,
+/// while it improves on the unfused optimum.
+struct AutoFuseResult {
+  std::shared_ptr<const api::Topology> topology;  ///< final topology
+  model::ProfileSet profiles;
+  int fusions_applied = 0;
+  double baseline_throughput = 0.0;  ///< RLAS optimum, unfused
+  double fused_throughput = 0.0;     ///< RLAS optimum, final topology
+};
+
+StatusOr<AutoFuseResult> AutoFuse(const api::Topology& topo,
+                                  const model::ProfileSet& profiles,
+                                  const hw::MachineSpec& machine,
+                                  RlasOptions options = {});
+
+}  // namespace brisk::opt

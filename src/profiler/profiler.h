@@ -1,0 +1,59 @@
+// Operator profiling harness — the model-instantiation step of §3.1.
+//
+// Mirrors the paper's methodology: sample inputs for an operator are
+// prepared by pre-executing all of its upstream operators (so nothing
+// interferes with the profiled thread), then the operator runs alone
+// while per-tuple execution time (T_e), output tuple size (N), memory
+// traffic per tuple (M) and per-stream selectivity are gathered. The
+// paper used the overseer and classmexer JVM libraries for this; here
+// steady_clock and the tuple layout provide the same quantities.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/topology.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "model/operator_profile.h"
+
+namespace brisk::profiler {
+
+struct ProfilerConfig {
+  /// Tuples fed to each profiled operator.
+  int samples = 20000;
+  /// Reference clock used to convert measured ns to cycles (profiles
+  /// store cycles so they transfer across machines, §3.1).
+  double reference_ghz = 1.2;
+  /// Percentile of the T_e distribution reported as the profile value
+  /// (the paper uses the 50th).
+  double te_percentile = 0.50;
+  /// Untimed warm-up tuples per operator (JIT/caches in the paper;
+  /// branch predictors and allocator pools here).
+  int warmup_samples = 2000;
+};
+
+/// Raw measurement for one operator.
+struct OperatorMeasurement {
+  Histogram te_cycles;                 ///< per-tuple distribution (Fig. 3)
+  double n_bytes = 0.0;                ///< avg output tuple size
+  double m_bytes = 0.0;                ///< avg bytes touched per tuple
+  std::vector<double> selectivity;     ///< per output stream
+  std::vector<double> output_bytes;    ///< per output stream
+  uint64_t tuples_processed = 0;
+};
+
+/// Result of profiling a whole application.
+struct AppProfile {
+  std::map<std::string, OperatorMeasurement> measurements;
+  model::ProfileSet profiles;  ///< at the configured percentile
+};
+
+/// Profiles every operator of `topo` by pre-executing upstream
+/// operators to produce inputs (topological order), then timing each
+/// operator in isolation.
+StatusOr<AppProfile> ProfileApp(const api::Topology& topo,
+                                const ProfilerConfig& config = {});
+
+}  // namespace brisk::profiler

@@ -1,0 +1,533 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace brisk::sim {
+
+namespace {
+
+constexpr double kNsPerSec = 1e9;
+constexpr uint64_t kMaxEvents = 80'000'000;  // runaway guard
+
+/// A jumbo tuple in flight between two instances.
+struct Batch {
+  uint32_t count = 0;
+  double origin_sum_ns = 0.0;  ///< Σ per-tuple origin timestamps
+};
+
+/// Bounded FIFO on one producer-instance → consumer-instance edge.
+struct EdgeQueue {
+  int from_instance = -1;
+  int to_instance = -1;
+  size_t capacity = 0;
+  double fetch_ns_per_tuple = 0.0;  ///< Formula 2 (+ prefetch factor)
+  double bytes_per_tuple = 0.0;
+  std::deque<Batch> batches;
+
+  bool Full() const { return batches.size() >= capacity; }
+};
+
+/// Output accumulation buffer; becomes a Batch when it reaches the
+/// jumbo-tuple size (§5.2).
+struct OutBuffer {
+  int queue_index = -1;
+  double tuples = 0.0;  ///< fractional (selectivity carry)
+  double origin_sum_ns = 0.0;
+};
+
+/// Routing of one topology edge at a producer instance: every
+/// subscribing consumer operator receives the full stream; within one
+/// edge the grouping decides the fan-out across consumer replicas.
+struct EdgeRoute {
+  uint16_t stream_id = 0;
+  bool broadcast = false;           ///< copy to every replica
+  std::vector<int> buffers;         ///< per consumer replica
+  size_t rr_cursor = 0;             ///< shuffle/fields batch-level RR
+};
+
+struct Instance {
+  int op = -1;
+  int socket = -1;
+  bool is_spout = false;
+  bool is_sink = false;
+  double te_ns = 0.0;
+
+  std::vector<int> in_queues;
+  size_t in_cursor = 0;
+  std::vector<OutBuffer> buffers;
+  std::vector<EdgeRoute> routes;
+  std::vector<double> stream_selectivity;  ///< per output stream
+
+  double free_at_ns = 0.0;
+  bool scheduled = false;
+  bool blocked = false;
+  std::vector<std::pair<int, Batch>> stalled;  ///< (queue idx, batch)
+
+  double spout_tokens = 0.0;
+  double spout_last_refill_ns = 0.0;
+
+  SimInstanceStats stats;
+  double blocked_since_ns = -1.0;
+};
+
+struct Event {
+  double time_ns;
+  uint64_t seq;
+  int instance;  ///< -1 = global flush tick
+  bool operator>(const Event& other) const {
+    return std::tie(time_ns, seq) > std::tie(other.time_ns, other.seq);
+  }
+};
+
+/// Hardware-prefetch efficiency: Formula 2 charges one worst-case
+/// latency per cache line, but adjacent-line streams pipeline on real
+/// hardware (Table 3: measured Splitter RMA ≈ 1/3 of the estimate)
+/// while single-line fetches slightly exceed idle latency under load
+/// (Counter rows).
+double PrefetchFactor(double lines) {
+  if (lines <= 1.0) return 1.15;
+  if (lines <= 2.0) return 0.65;
+  return 0.45;
+}
+
+class SimEngine {
+ public:
+  SimEngine(const hw::MachineSpec& machine,
+            const model::ProfileSet& profiles,
+            const model::ExecutionPlan& plan, const SimConfig& cfg)
+      : machine_(machine), profiles_(profiles), plan_(plan), cfg_(cfg) {}
+
+  StatusOr<SimResult> Run();
+
+ private:
+  Status BuildNetwork();
+  void Schedule(int inst, double at_ns);
+  void TryWork(int inst, double now);
+  void EmitOutputs(int inst, double count, double origin_sum, double now);
+  void FlushFull(int inst, int buffer_idx, double now);
+  void FlushPartial(int inst, int buffer_idx, double now);
+  void PushOrStall(int inst, int queue_idx, Batch batch, double now);
+  void WakeWaiters(int queue_idx, double now);
+  void GlobalFlush(double now);
+
+  double ClipToWindow(double start, double end) const {
+    const double lo = std::max(start, warmup_ns_);
+    const double hi = std::min(end, end_ns_);
+    return std::max(0.0, hi - lo);
+  }
+  bool InWindow(double t) const { return t >= warmup_ns_ && t < end_ns_; }
+
+  const hw::MachineSpec& machine_;
+  const model::ProfileSet& profiles_;
+  const model::ExecutionPlan& plan_;
+  SimConfig cfg_;
+
+  std::vector<Instance> instances_;
+  std::vector<EdgeQueue> queues_;
+  std::vector<std::vector<int>> queue_waiters_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+      events_;
+  uint64_t event_seq_ = 0;
+  uint64_t events_processed_ = 0;
+
+  double warmup_ns_ = 0.0;
+  double end_ns_ = 0.0;
+  double spout_rate_per_instance_ = 0.0;  ///< 0 = saturated
+
+  uint64_t sink_tuples_ = 0;
+  Histogram latency_ns_;
+  std::vector<double> link_traffic_bytes_;
+};
+
+Status SimEngine::BuildNetwork() {
+  const api::Topology& topo = plan_.topology();
+  const int n = plan_.num_instances();
+  if (n == 0) return Status::InvalidArgument("empty plan");
+  instances_.assign(n, Instance{});
+
+  std::vector<model::OperatorProfile> prof(topo.num_operators());
+  for (const auto& op : topo.ops()) {
+    BRISK_ASSIGN_OR_RETURN(prof[op.id], profiles_.Get(op.name));
+    if (prof[op.id].selectivity.size() < op.output_streams.size() ||
+        prof[op.id].output_bytes.size() < op.output_streams.size()) {
+      return Status::InvalidArgument("profile for '" + op.name +
+                                     "' covers fewer streams than declared");
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const auto& pi = plan_.instance(i);
+    if (pi.socket < 0 || pi.socket >= machine_.num_sockets()) {
+      return Status::FailedPrecondition(
+          "cannot simulate: instance of '" + topo.op(pi.op).name +
+          "' is unplaced or out of range");
+    }
+    Instance& inst = instances_[i];
+    inst.op = pi.op;
+    inst.socket = pi.socket;
+    inst.is_spout = topo.op(pi.op).is_spout;
+    inst.is_sink = topo.OutEdges(pi.op).empty();
+    inst.te_ns = machine_.CyclesToNs(prof[pi.op].te_cycles);
+    const size_t n_streams = topo.op(pi.op).output_streams.size();
+    inst.stream_selectivity.resize(n_streams);
+    for (size_t s = 0; s < n_streams; ++s) {
+      inst.stream_selectivity[s] = prof[pi.op].selectivity[s];
+    }
+  }
+
+  for (const auto& e : topo.edges()) {
+    const double bytes = prof[e.producer_op].output_bytes[e.stream_id];
+    for (int pr = 0; pr < plan_.replication(e.producer_op); ++pr) {
+      const int pinst = plan_.InstanceId(e.producer_op, pr);
+      Instance& producer = instances_[pinst];
+      producer.routes.emplace_back();
+      EdgeRoute& route = producer.routes.back();
+      route.stream_id = e.stream_id;
+      route.broadcast = e.grouping == api::GroupingType::kBroadcast;
+      const int consumers = e.grouping == api::GroupingType::kGlobal
+                                ? 1
+                                : plan_.replication(e.consumer_op);
+      for (int cr = 0; cr < consumers; ++cr) {
+        const int cinst = plan_.InstanceId(e.consumer_op, cr);
+        EdgeQueue q;
+        q.from_instance = pinst;
+        q.to_instance = cinst;
+        q.capacity = static_cast<size_t>(cfg_.queue_capacity_batches);
+        q.bytes_per_tuple = bytes;
+        double fetch = cfg_.zero_fetch
+                           ? 0.0
+                           : machine_.FetchCostNs(instances_[pinst].socket,
+                                                  instances_[cinst].socket,
+                                                  bytes);
+        if (cfg_.prefetch_adjust && fetch > 0.0) {
+          fetch *=
+              PrefetchFactor(std::ceil(bytes / machine_.cache_line_bytes()));
+        }
+        q.fetch_ns_per_tuple = fetch;
+        const int qidx = static_cast<int>(queues_.size());
+        queues_.push_back(std::move(q));
+        instances_[cinst].in_queues.push_back(qidx);
+
+        OutBuffer buf;
+        buf.queue_index = qidx;
+        const int bidx = static_cast<int>(producer.buffers.size());
+        producer.buffers.push_back(buf);
+        route.buffers.push_back(bidx);
+      }
+    }
+  }
+  queue_waiters_.assign(queues_.size(), {});
+  link_traffic_bytes_.assign(
+      static_cast<size_t>(machine_.num_sockets()) * machine_.num_sockets(),
+      0.0);
+  return Status::OK();
+}
+
+void SimEngine::Schedule(int inst, double at_ns) {
+  Instance& in = instances_[inst];
+  if (in.scheduled || in.blocked) return;
+  in.scheduled = true;
+  events_.push({at_ns, event_seq_++, inst});
+}
+
+void SimEngine::PushOrStall(int inst, int queue_idx, Batch batch,
+                            double now) {
+  Instance& in = instances_[inst];
+  EdgeQueue& q = queues_[queue_idx];
+  if (in.blocked || q.Full()) {
+    in.stalled.emplace_back(queue_idx, std::move(batch));
+    if (!in.blocked) {
+      in.blocked = true;
+      in.blocked_since_ns = now;
+    }
+    auto& waiters = queue_waiters_[queue_idx];
+    if (std::find(waiters.begin(), waiters.end(), inst) == waiters.end()) {
+      waiters.push_back(inst);
+    }
+    return;
+  }
+  q.batches.push_back(std::move(batch));
+  // Wake an idle consumer.
+  Instance& consumer = instances_[q.to_instance];
+  if (!consumer.scheduled && !consumer.blocked) {
+    Schedule(q.to_instance, std::max(now, consumer.free_at_ns));
+  }
+}
+
+void SimEngine::WakeWaiters(int queue_idx, double now) {
+  auto& waiters = queue_waiters_[queue_idx];
+  if (waiters.empty()) return;
+  std::vector<int> still_waiting;
+  for (const int w : waiters) {
+    Instance& in = instances_[w];
+    // Retry every stalled push in order; stop at the first that is
+    // still blocked (batch order per edge must be preserved).
+    std::vector<std::pair<int, Batch>> remaining;
+    for (auto& [qidx, batch] : in.stalled) {
+      if (!queues_[qidx].Full()) {
+        EdgeQueue& q = queues_[qidx];
+        q.batches.push_back(std::move(batch));
+        Instance& consumer = instances_[q.to_instance];
+        if (!consumer.scheduled && !consumer.blocked) {
+          Schedule(q.to_instance, std::max(now, consumer.free_at_ns));
+        }
+      } else {
+        remaining.emplace_back(qidx, std::move(batch));
+      }
+    }
+    in.stalled = std::move(remaining);
+    if (in.stalled.empty()) {
+      in.blocked = false;
+      if (in.blocked_since_ns >= 0) {
+        in.stats.blocked_ns += ClipToWindow(in.blocked_since_ns, now);
+        in.blocked_since_ns = -1.0;
+      }
+      Schedule(w, std::max(now, in.free_at_ns));
+    } else {
+      if (std::find(still_waiting.begin(), still_waiting.end(), w) ==
+          still_waiting.end()) {
+        still_waiting.push_back(w);
+      }
+    }
+  }
+  waiters = std::move(still_waiting);
+}
+
+void SimEngine::FlushFull(int inst, int buffer_idx, double now) {
+  Instance& in = instances_[inst];
+  OutBuffer& buf = in.buffers[buffer_idx];
+  while (buf.tuples >= cfg_.batch_size && !in.blocked) {
+    const double avg_origin = buf.origin_sum_ns / buf.tuples;
+    Batch b;
+    b.count = static_cast<uint32_t>(cfg_.batch_size);
+    b.origin_sum_ns = avg_origin * cfg_.batch_size;
+    buf.tuples -= cfg_.batch_size;
+    buf.origin_sum_ns -= b.origin_sum_ns;
+    if (buf.tuples < 1e-9) {
+      buf.tuples = 0.0;
+      buf.origin_sum_ns = 0.0;
+    }
+    PushOrStall(inst, buf.queue_index, std::move(b), now);
+  }
+}
+
+void SimEngine::FlushPartial(int inst, int buffer_idx, double now) {
+  Instance& in = instances_[inst];
+  OutBuffer& buf = in.buffers[buffer_idx];
+  if (in.blocked || buf.tuples < 1.0) return;
+  const auto count = static_cast<uint32_t>(buf.tuples);
+  const double avg_origin = buf.origin_sum_ns / buf.tuples;
+  Batch b;
+  b.count = count;
+  b.origin_sum_ns = avg_origin * count;
+  buf.tuples -= count;
+  buf.origin_sum_ns -= b.origin_sum_ns;
+  if (buf.tuples < 1e-9) {
+    buf.tuples = 0.0;
+    buf.origin_sum_ns = 0.0;
+  }
+  PushOrStall(inst, buf.queue_index, std::move(b), now);
+}
+
+void SimEngine::EmitOutputs(int inst, double count, double origin_sum,
+                            double now) {
+  Instance& in = instances_[inst];
+  const double avg_origin = count > 0 ? origin_sum / count : now;
+  for (auto& route : in.routes) {
+    const double out = count * in.stream_selectivity[route.stream_id];
+    if (out <= 0.0 || route.buffers.empty()) continue;
+    if (route.broadcast) {
+      for (const int bidx : route.buffers) {
+        in.buffers[bidx].tuples += out;
+        in.buffers[bidx].origin_sum_ns += out * avg_origin;
+        FlushFull(inst, bidx, now);
+      }
+    } else {
+      // Batch-level round-robin across consumer replicas (the engine's
+      // shuffle/fields partitioner is uniform at scale).
+      const int bidx =
+          route.buffers[route.rr_cursor % route.buffers.size()];
+      ++route.rr_cursor;
+      in.buffers[bidx].tuples += out;
+      in.buffers[bidx].origin_sum_ns += out * avg_origin;
+      FlushFull(inst, bidx, now);
+    }
+  }
+}
+
+void SimEngine::TryWork(int inst, double now) {
+  Instance& in = instances_[inst];
+  in.scheduled = false;
+  if (in.blocked) return;
+  now = std::max(now, in.free_at_ns);
+  if (now >= end_ns_) return;
+
+  if (in.is_spout) {
+    double batch = cfg_.batch_size;
+    if (spout_rate_per_instance_ > 0.0) {
+      in.spout_tokens += (now - in.spout_last_refill_ns) / kNsPerSec *
+                         spout_rate_per_instance_;
+      in.spout_last_refill_ns = now;
+      in.spout_tokens = std::min(in.spout_tokens, 4.0 * cfg_.batch_size);
+      if (in.spout_tokens < batch) {
+        const double wait_s =
+            (batch - in.spout_tokens) / spout_rate_per_instance_;
+        Schedule(inst, now + wait_s * kNsPerSec);
+        return;
+      }
+      in.spout_tokens -= batch;
+    }
+    const double proc_ns = batch * in.te_ns;
+    const double end = now + proc_ns;
+    in.stats.busy_ns += ClipToWindow(now, end);
+    if (InWindow(end)) {
+      in.stats.tuples_in += static_cast<uint64_t>(batch);
+      in.stats.tuples_out += static_cast<uint64_t>(batch);
+    }
+    in.free_at_ns = end;
+    EmitOutputs(inst, batch, batch * now, end);
+    if (!in.blocked) Schedule(inst, end);
+    return;
+  }
+
+  // Bolt: round-robin over input queues for one non-empty queue.
+  int qidx = -1;
+  for (size_t k = 0; k < in.in_queues.size(); ++k) {
+    const int candidate =
+        in.in_queues[(in.in_cursor + k) % in.in_queues.size()];
+    if (!queues_[candidate].batches.empty()) {
+      qidx = candidate;
+      in.in_cursor = (in.in_cursor + k + 1) % in.in_queues.size();
+      break;
+    }
+  }
+  if (qidx < 0) return;  // idle: a future push reschedules us
+
+  EdgeQueue& q = queues_[qidx];
+  Batch batch = std::move(q.batches.front());
+  q.batches.pop_front();
+  WakeWaiters(qidx, now);
+
+  const double per_tuple_ns = in.te_ns + q.fetch_ns_per_tuple;
+  const double proc_ns = batch.count * per_tuple_ns;
+  const double end = now + proc_ns;
+  in.stats.busy_ns += ClipToWindow(now, end);
+
+  const int from_s = instances_[q.from_instance].socket;
+  if (from_s != in.socket && InWindow(now)) {
+    link_traffic_bytes_[static_cast<size_t>(from_s) *
+                            machine_.num_sockets() +
+                        in.socket] += batch.count * q.bytes_per_tuple;
+  }
+  if (InWindow(end)) in.stats.tuples_in += batch.count;
+
+  if (in.is_sink) {
+    if (InWindow(end)) {
+      sink_tuples_ += batch.count;
+      // Weighted by batch size so sparse slow paths do not dominate
+      // the distribution.
+      latency_ns_.AddN(end - batch.origin_sum_ns / batch.count,
+                       batch.count);
+    }
+  } else {
+    EmitOutputs(inst, batch.count, batch.origin_sum_ns, end);
+    if (InWindow(end)) {
+      // tuples_out tracked via per-edge selectivity and fan-out.
+      double out = 0.0;
+      for (const auto& r : in.routes) {
+        out += batch.count * in.stream_selectivity[r.stream_id] *
+               (r.broadcast ? static_cast<double>(r.buffers.size()) : 1.0);
+      }
+      in.stats.tuples_out += static_cast<uint64_t>(out);
+    }
+  }
+  in.free_at_ns = end;
+  if (!in.blocked) Schedule(inst, end);
+}
+
+void SimEngine::GlobalFlush(double now) {
+  for (int i = 0; i < static_cast<int>(instances_.size()); ++i) {
+    Instance& in = instances_[i];
+    if (in.blocked) continue;
+    for (int b = 0; b < static_cast<int>(in.buffers.size()); ++b) {
+      FlushPartial(i, b, now);
+      if (in.blocked) break;
+    }
+  }
+}
+
+StatusOr<SimResult> SimEngine::Run() {
+  BRISK_RETURN_NOT_OK(BuildNetwork());
+  warmup_ns_ = cfg_.warmup_s * kNsPerSec;
+  end_ns_ = (cfg_.warmup_s + cfg_.duration_s) * kNsPerSec;
+  if (cfg_.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+
+  int spout_instances = 0;
+  for (const auto& in : instances_) spout_instances += in.is_spout ? 1 : 0;
+  if (spout_instances == 0) {
+    return Status::InvalidArgument("plan has no spout instances");
+  }
+  spout_rate_per_instance_ =
+      cfg_.input_rate_tps > 0 ? cfg_.input_rate_tps / spout_instances : 0.0;
+
+  for (int i = 0; i < static_cast<int>(instances_.size()); ++i) {
+    if (instances_[i].is_spout) Schedule(i, 0.0);
+  }
+  const double flush_step = cfg_.flush_interval_s * kNsPerSec;
+  double next_flush = flush_step;
+  events_.push({next_flush, event_seq_++, -1});
+
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    if (ev.time_ns >= end_ns_) break;
+    if (++events_processed_ > kMaxEvents) {
+      return Status::Internal("simulation exceeded event budget");
+    }
+    if (ev.instance < 0) {
+      GlobalFlush(ev.time_ns);
+      next_flush = ev.time_ns + flush_step;
+      events_.push({next_flush, event_seq_++, -1});
+      continue;
+    }
+    TryWork(ev.instance, ev.time_ns);
+  }
+
+  SimResult result;
+  result.throughput_tps = sink_tuples_ / cfg_.duration_s;
+  result.latency_ns = latency_ns_;
+  result.instances.reserve(instances_.size());
+  for (auto& in : instances_) {
+    if (in.blocked && in.blocked_since_ns >= 0) {
+      in.stats.blocked_ns += ClipToWindow(in.blocked_since_ns, end_ns_);
+    }
+    result.instances.push_back(in.stats);
+  }
+  result.link_traffic_bps.reserve(link_traffic_bytes_.size());
+  for (const double bytes : link_traffic_bytes_) {
+    result.link_traffic_bps.push_back(bytes / cfg_.duration_s);
+  }
+  result.events = events_processed_;
+  return result;
+}
+
+}  // namespace
+
+StatusOr<SimResult> Simulate(const hw::MachineSpec& machine,
+                             const model::ProfileSet& profiles,
+                             const model::ExecutionPlan& plan,
+                             const SimConfig& config) {
+  SimEngine engine(machine, profiles, plan, config);
+  return engine.Run();
+}
+
+}  // namespace brisk::sim

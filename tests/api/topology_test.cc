@@ -1,0 +1,180 @@
+// Tests for the topology builder and DAG validation.
+#include "api/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace brisk::api {
+namespace {
+
+SpoutFactory NullSpout() {
+  return [] { return std::unique_ptr<Spout>(); };
+}
+OperatorFactory NullBolt() {
+  return [] { return std::unique_ptr<Operator>(); };
+}
+
+TEST(TopologyBuilderTest, BuildsLinearChain) {
+  TopologyBuilder b("chain");
+  b.AddSpout("src", NullSpout(), 2);
+  b.AddBolt("mid", NullBolt(), 3).ShuffleFrom("src");
+  b.AddBolt("snk", NullBolt()).ShuffleFrom("mid");
+  auto topo = std::move(b).Build();
+  ASSERT_TRUE(topo.ok()) << topo.status();
+  EXPECT_EQ(topo->num_operators(), 3);
+  EXPECT_EQ(topo->edges().size(), 2u);
+  EXPECT_EQ(topo->spouts(), std::vector<int>{0});
+  EXPECT_EQ(topo->sinks(), std::vector<int>{2});
+  EXPECT_EQ(topo->op(0).base_parallelism, 2);
+  EXPECT_EQ(topo->op(1).base_parallelism, 3);
+}
+
+TEST(TopologyBuilderTest, TopologicalOrderRespectsEdges) {
+  TopologyBuilder b("diamond");
+  b.AddSpout("a", NullSpout());
+  b.AddBolt("b", NullBolt()).ShuffleFrom("a");
+  b.AddBolt("c", NullBolt()).ShuffleFrom("a");
+  b.AddBolt("d", NullBolt()).ShuffleFrom("b").ShuffleFrom("c");
+  auto topo = std::move(b).Build();
+  ASSERT_TRUE(topo.ok());
+  const auto& order = topo->topological_order();
+  auto pos = [&](int op) {
+    return std::find(order.begin(), order.end(), op) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(TopologyBuilderTest, NamedStreamsResolveToIds) {
+  TopologyBuilder b("streams");
+  b.AddSpout("src", NullSpout());
+  b.AddBolt("router", NullBolt())
+      .ShuffleFrom("src")
+      .DeclareStream("left")
+      .DeclareStream("right");
+  b.AddBolt("l", NullBolt()).ShuffleFrom("router", "left");
+  b.AddBolt("r", NullBolt()).FieldsFrom("router", 1, "right");
+  auto topo = std::move(b).Build();
+  ASSERT_TRUE(topo.ok()) << topo.status();
+  const auto edges = topo->OutEdges(1);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].stream_id, 1);  // "left"
+  EXPECT_EQ(edges[1].stream_id, 2);  // "right"
+  EXPECT_EQ(edges[1].grouping, GroupingType::kFields);
+  EXPECT_EQ(edges[1].key_field, 1u);
+}
+
+TEST(TopologyBuilderTest, GroupingsRecorded) {
+  TopologyBuilder b("grp");
+  b.AddSpout("s", NullSpout());
+  b.AddBolt("sh", NullBolt()).ShuffleFrom("s");
+  b.AddBolt("fi", NullBolt()).FieldsFrom("s", 2);
+  b.AddBolt("br", NullBolt()).BroadcastFrom("s");
+  b.AddBolt("gl", NullBolt()).GlobalFrom("s");
+  auto topo = std::move(b).Build();
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->InEdges(1)[0].grouping, GroupingType::kShuffle);
+  EXPECT_EQ(topo->InEdges(2)[0].grouping, GroupingType::kFields);
+  EXPECT_EQ(topo->InEdges(3)[0].grouping, GroupingType::kBroadcast);
+  EXPECT_EQ(topo->InEdges(4)[0].grouping, GroupingType::kGlobal);
+}
+
+TEST(TopologyBuilderTest, RejectsDuplicateNames) {
+  TopologyBuilder b("dup");
+  b.AddSpout("x", NullSpout());
+  b.AddBolt("x", NullBolt()).ShuffleFrom("x");
+  auto topo = std::move(b).Build();
+  ASSERT_FALSE(topo.ok());
+  EXPECT_EQ(topo.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TopologyBuilderTest, RejectsUnknownProducer) {
+  TopologyBuilder b("bad");
+  b.AddSpout("s", NullSpout());
+  b.AddBolt("k", NullBolt()).ShuffleFrom("ghost");
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(TopologyBuilderTest, RejectsUnknownStream) {
+  TopologyBuilder b("bad");
+  b.AddSpout("s", NullSpout());
+  b.AddBolt("k", NullBolt()).ShuffleFrom("s", "no-such-stream");
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(TopologyBuilderTest, RejectsBoltWithoutInputs) {
+  TopologyBuilder b("floating");
+  b.AddSpout("s", NullSpout());
+  b.AddBolt("island", NullBolt());
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(TopologyBuilderTest, RejectsMissingSpout) {
+  TopologyBuilder b("no-spout");
+  b.AddBolt("a", NullBolt());
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(TopologyBuilderTest, RejectsCycle) {
+  TopologyBuilder b("cycle");
+  b.AddSpout("s", NullSpout());
+  b.AddBolt("a", NullBolt()).ShuffleFrom("s").ShuffleFrom("b");
+  b.AddBolt("b", NullBolt()).ShuffleFrom("a");
+  auto topo = std::move(b).Build();
+  ASSERT_FALSE(topo.ok());
+  EXPECT_NE(topo.status().message().find("cycle"), std::string::npos);
+}
+
+TEST(TopologyBuilderTest, RejectsSelfLoop) {
+  TopologyBuilder b("self");
+  b.AddSpout("s", NullSpout());
+  b.AddBolt("a", NullBolt()).ShuffleFrom("a");
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(TopologyBuilderTest, RejectsZeroParallelism) {
+  TopologyBuilder b("zero");
+  b.AddSpout("s", NullSpout(), 0);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(TopologyBuilderTest, RejectsEmptyTopology) {
+  TopologyBuilder b("empty");
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(TopologyTest, OpIdLookup) {
+  TopologyBuilder b("lookup");
+  b.AddSpout("alpha", NullSpout());
+  b.AddBolt("beta", NullBolt()).ShuffleFrom("alpha");
+  auto topo = std::move(b).Build();
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(*topo->OpId("alpha"), 0);
+  EXPECT_EQ(*topo->OpId("beta"), 1);
+  EXPECT_FALSE(topo->OpId("gamma").ok());
+}
+
+TEST(TopologyTest, MultipleSinksDetected) {
+  TopologyBuilder b("fan");
+  b.AddSpout("s", NullSpout());
+  b.AddBolt("a", NullBolt()).ShuffleFrom("s");
+  b.AddBolt("b", NullBolt()).ShuffleFrom("s");
+  auto topo = std::move(b).Build();
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->sinks().size(), 2u);
+}
+
+TEST(TopologyTest, ToStringListsOperators) {
+  TopologyBuilder b("print");
+  b.AddSpout("src", NullSpout());
+  b.AddBolt("dst", NullBolt()).FieldsFrom("src", 0);
+  auto topo = std::move(b).Build();
+  ASSERT_TRUE(topo.ok());
+  const std::string s = topo->ToString();
+  EXPECT_NE(s.find("src"), std::string::npos);
+  EXPECT_NE(s.find("fields"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace brisk::api

@@ -1,0 +1,382 @@
+// Tests for the four benchmark applications: topology shape, operator
+// semantics, and profile consistency.
+#include "apps/apps.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/fraud_detection.h"
+#include "apps/linear_road.h"
+#include "apps/spike_detection.h"
+#include "apps/word_count.h"
+
+namespace brisk::apps {
+namespace {
+
+/// Collector capturing emissions per stream for operator unit tests.
+class CaptureCollector : public api::OutputCollector {
+ public:
+  void Emit(Tuple t) override { EmitTo(0, std::move(t)); }
+  void EmitTo(uint16_t stream_id, Tuple t) override {
+    by_stream_[stream_id].push_back(std::move(t));
+  }
+  std::vector<Tuple>& stream(uint16_t id) { return by_stream_[id]; }
+  size_t total() const {
+    size_t n = 0;
+    for (const auto& [_, v] : by_stream_) n += v.size();
+    return n;
+  }
+
+ private:
+  std::map<uint16_t, std::vector<Tuple>> by_stream_;
+};
+
+// ---------------------------------------------------------------- WC --
+
+TEST(WordCountTest, TopologyShape) {
+  auto app = MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  EXPECT_EQ(app->topology().num_operators(), 5);
+  EXPECT_EQ(app->topology().spouts().size(), 1u);
+  EXPECT_EQ(app->topology().sinks().size(), 1u);
+  // Counter subscribes with fields grouping (stateful, §2.2).
+  const int counter = *app->topology().OpId("counter");
+  EXPECT_EQ(app->topology().InEdges(counter)[0].grouping,
+            api::GroupingType::kFields);
+}
+
+TEST(WordCountTest, SpoutEmitsSentencesOfTenWords) {
+  WordCountParams params;
+  SentenceSpout spout(params);
+  api::OperatorContext ctx;
+  ASSERT_TRUE(spout.Prepare(ctx).ok());
+  CaptureCollector out;
+  EXPECT_EQ(spout.NextBatch(20, &out), 20u);
+  ASSERT_EQ(out.stream(0).size(), 20u);
+  for (const auto& t : out.stream(0)) {
+    const std::string& sentence = t.GetString(0);
+    const long spaces = std::count(sentence.begin(), sentence.end(), ' ');
+    EXPECT_EQ(spaces, params.words_per_sentence - 1);
+    EXPECT_GT(t.origin_ts_ns, 0);
+  }
+}
+
+TEST(WordCountTest, SpoutReplicasEmitDifferentData) {
+  WordCountParams params;
+  SentenceSpout a(params), b(params);
+  api::OperatorContext ctx_a, ctx_b;
+  ctx_a.replica_index = 0;
+  ctx_b.replica_index = 1;
+  ASSERT_TRUE(a.Prepare(ctx_a).ok());
+  ASSERT_TRUE(b.Prepare(ctx_b).ok());
+  CaptureCollector out_a, out_b;
+  a.NextBatch(5, &out_a);
+  b.NextBatch(5, &out_b);
+  EXPECT_NE(out_a.stream(0)[0].GetString(0), out_b.stream(0)[0].GetString(0));
+}
+
+TEST(WordCountTest, SplitterSelectivityIsWordsPerSentence) {
+  Splitter splitter;
+  CaptureCollector out;
+  Tuple t;
+  t.fields.emplace_back(std::string("a bb ccc dddd"));
+  t.origin_ts_ns = 42;
+  splitter.Process(t, &out);
+  ASSERT_EQ(out.stream(0).size(), 4u);
+  EXPECT_EQ(out.stream(0)[0].GetString(0), "a");
+  EXPECT_EQ(out.stream(0)[3].GetString(0), "dddd");
+  // Origin timestamp propagates for latency accounting.
+  EXPECT_EQ(out.stream(0)[2].origin_ts_ns, 42);
+}
+
+TEST(WordCountTest, SplitterHandlesRepeatedSpaces) {
+  Splitter splitter;
+  CaptureCollector out;
+  Tuple t;
+  t.fields.emplace_back(std::string("  x  y "));
+  splitter.Process(t, &out);
+  ASSERT_EQ(out.stream(0).size(), 2u);
+}
+
+TEST(WordCountTest, CounterCountsOccurrences) {
+  WordCounter counter;
+  CaptureCollector out;
+  for (const char* w : {"cat", "dog", "cat", "cat"}) {
+    Tuple t;
+    t.fields.emplace_back(std::string(w));
+    counter.Process(t, &out);
+  }
+  ASSERT_EQ(out.stream(0).size(), 4u);
+  EXPECT_EQ(out.stream(0)[0].GetInt(1), 1);  // cat -> 1
+  EXPECT_EQ(out.stream(0)[1].GetInt(1), 1);  // dog -> 1
+  EXPECT_EQ(out.stream(0)[2].GetInt(1), 2);  // cat -> 2
+  EXPECT_EQ(out.stream(0)[3].GetInt(1), 3);  // cat -> 3
+}
+
+TEST(WordCountTest, ParserDropsEmptyFirstField) {
+  ValidatingParser parser;
+  CaptureCollector out;
+  Tuple bad;
+  bad.fields.emplace_back(std::string(""));
+  parser.Process(bad, &out);
+  EXPECT_EQ(out.total(), 0u);
+  EXPECT_EQ(parser.dropped(), 1u);
+  Tuple good;
+  good.fields.emplace_back(std::string("ok"));
+  parser.Process(good, &out);
+  EXPECT_EQ(out.total(), 1u);
+}
+
+// ---------------------------------------------------------------- FD --
+
+TEST(FraudDetectionTest, TopologyShape) {
+  auto app = MakeApp(AppId::kFraudDetection);
+  ASSERT_TRUE(app.ok());
+  EXPECT_EQ(app->topology().num_operators(), 4);
+  const int predict = *app->topology().OpId("predict");
+  EXPECT_EQ(app->topology().InEdges(predict)[0].grouping,
+            api::GroupingType::kFields);
+}
+
+TEST(FraudDetectionTest, PredictorEmitsOneSignalPerTransaction) {
+  FraudDetectionParams params;
+  FraudPredictor predictor(params);
+  CaptureCollector out;
+  for (int i = 0; i < 10; ++i) {
+    Tuple t;
+    t.fields.emplace_back(int64_t{7});       // account
+    t.fields.emplace_back(25.0 + i);         // amount
+    t.fields.emplace_back(int64_t{3});       // merchant
+    predictor.Process(t, &out);
+  }
+  EXPECT_EQ(out.total(), 10u);  // selectivity one (Appendix B)
+}
+
+TEST(FraudDetectionTest, RareTransitionScoresHigherThanCommon) {
+  FraudDetectionParams params;
+  FraudPredictor predictor(params);
+  CaptureCollector out;
+  // Train a stable pattern: small -> small many times.
+  for (int i = 0; i < 200; ++i) {
+    Tuple t;
+    t.fields.emplace_back(int64_t{1});
+    t.fields.emplace_back(5.0);
+    t.fields.emplace_back(int64_t{0});
+    predictor.Process(t, &out);
+  }
+  const double common_score = out.stream(0).back().GetDouble(1);
+  // Now a huge jump: rare transition.
+  Tuple spike;
+  spike.fields.emplace_back(int64_t{1});
+  spike.fields.emplace_back(4900.0);
+  spike.fields.emplace_back(int64_t{0});
+  predictor.Process(spike, &out);
+  const double rare_score = out.stream(0).back().GetDouble(1);
+  EXPECT_GT(rare_score, common_score);
+  EXPECT_GT(rare_score, 0.9);
+}
+
+// ---------------------------------------------------------------- SD --
+
+TEST(SpikeDetectionTest, MovingAverageTracksWindowMean) {
+  SpikeDetectionParams params;
+  params.window = 4;
+  MovingAverage avg(params);
+  CaptureCollector out;
+  const double readings[] = {1, 2, 3, 4, 5, 6};
+  for (const double r : readings) {
+    Tuple t;
+    t.fields.emplace_back(int64_t{9});
+    t.fields.emplace_back(r);
+    avg.Process(t, &out);
+  }
+  // After 6 readings with window 4: mean of {3,4,5,6} = 4.5.
+  EXPECT_DOUBLE_EQ(out.stream(0).back().GetDouble(2), 4.5);
+  // Windows are per device.
+  Tuple other;
+  other.fields.emplace_back(int64_t{10});
+  other.fields.emplace_back(100.0);
+  avg.Process(other, &out);
+  EXPECT_DOUBLE_EQ(out.stream(0).back().GetDouble(2), 100.0);
+}
+
+TEST(SpikeDetectionTest, DetectorFlagsOnlySpikes) {
+  SpikeDetectionParams params;
+  params.spike_threshold = 2.0;
+  SpikeDetector detector(params);
+  CaptureCollector out;
+  auto feed = [&](double reading, double avg) {
+    Tuple t;
+    t.fields.emplace_back(int64_t{1});
+    t.fields.emplace_back(reading);
+    t.fields.emplace_back(avg);
+    detector.Process(t, &out);
+    return out.stream(0).back().GetInt(1);
+  };
+  EXPECT_EQ(feed(10.0, 10.0), 0);  // normal
+  EXPECT_EQ(feed(25.0, 10.0), 1);  // 2.5x the average: spike
+  EXPECT_EQ(feed(19.0, 10.0), 0);  // below 2x
+  EXPECT_EQ(detector.spikes(), 1u);
+  // One signal per input regardless (Appendix B).
+  EXPECT_EQ(out.total(), 3u);
+}
+
+// ---------------------------------------------------------------- LR --
+
+TEST(LinearRoadTest, TopologyMatchesFig18c) {
+  auto app = MakeApp(AppId::kLinearRoad);
+  ASSERT_TRUE(app.ok());
+  const auto& topo = app->topology();
+  EXPECT_EQ(topo.num_operators(), 12);
+  // toll_notify consumes four streams (Table 8).
+  const int toll = *topo.OpId("toll_notify");
+  EXPECT_EQ(topo.InEdges(toll).size(), 4u);
+  // dispatcher declares three output streams.
+  const int dispatcher = *topo.OpId("dispatcher");
+  EXPECT_EQ(topo.op(dispatcher).output_streams.size(), 3u);
+  // the sink merges four inputs.
+  const int sink = *topo.OpId("sink");
+  EXPECT_EQ(topo.InEdges(sink).size(), 4u);
+}
+
+TEST(LinearRoadTest, DispatcherRoutesByType) {
+  LrDispatcher dispatcher;
+  CaptureCollector out;
+  Tuple pos;
+  pos.fields = {Field(kLrPosition), Field(int64_t{1}), Field(int64_t{2}),
+                Field(55.0), Field(int64_t{0})};
+  Tuple bal;
+  bal.fields = {Field(kLrBalance), Field(int64_t{1})};
+  Tuple daily;
+  daily.fields = {Field(kLrDaily), Field(int64_t{1}), Field(int64_t{10})};
+  dispatcher.Process(pos, &out);
+  dispatcher.Process(bal, &out);
+  dispatcher.Process(daily, &out);
+  EXPECT_EQ(out.stream(0).size(), 1u);  // position
+  EXPECT_EQ(out.stream(1).size(), 1u);  // balance
+  EXPECT_EQ(out.stream(2).size(), 1u);  // daily
+}
+
+TEST(LinearRoadTest, AccidentDetectNeedsFourConsecutiveStops) {
+  LrAccidentDetect detect;
+  CaptureCollector out;
+  auto report = [&](double speed) {
+    Tuple t;
+    t.fields = {Field(kLrPosition), Field(int64_t{5}), Field(int64_t{33}),
+                Field(speed), Field(int64_t{1})};
+    detect.Process(t, &out);
+  };
+  report(0.0);
+  report(0.0);
+  report(0.0);
+  EXPECT_EQ(out.total(), 0u);
+  report(0.0);  // fourth consecutive stop
+  ASSERT_EQ(out.total(), 1u);
+  EXPECT_EQ(out.stream(0)[0].GetInt(1), 33);  // segment
+  // A moving report resets the counter.
+  report(50.0);
+  report(0.0);
+  report(0.0);
+  report(0.0);
+  EXPECT_EQ(out.total(), 1u);
+}
+
+TEST(LinearRoadTest, TollChargedOnlyWhenCongestedSlowAndAccidentFree) {
+  LrTollNotify toll;
+  CaptureCollector out;
+  auto count = [&](int64_t cars) {
+    Tuple t;
+    t.fields = {Field(kLrCount), Field(int64_t{7}), Field(cars)};
+    toll.Process(t, &out);
+  };
+  auto las = [&](double speed) {
+    Tuple t;
+    t.fields = {Field(kLrLasSpeed), Field(int64_t{7}), Field(speed)};
+    toll.Process(t, &out);
+  };
+  auto position = [&]() {
+    Tuple t;
+    t.fields = {Field(kLrPosition), Field(int64_t{9}), Field(int64_t{7}),
+                Field(30.0), Field(int64_t{0})};
+    toll.Process(t, &out);
+    return out.stream(0).back().GetDouble(2);
+  };
+  count(10);
+  las(20.0);
+  EXPECT_EQ(position(), 0.0);  // not congested
+  count(80);
+  EXPECT_GT(position(), 0.0);  // congested + slow: toll due
+  las(90.0);
+  EXPECT_EQ(position(), 0.0);  // traffic flows freely again
+  // Accident suppresses tolls.
+  las(20.0);
+  Tuple accident;
+  accident.fields = {Field(kLrAccident), Field(int64_t{7})};
+  toll.Process(accident, &out);
+  EXPECT_EQ(position(), 0.0);
+}
+
+TEST(LinearRoadTest, AccidentNotifyOnlyInAccidentSegments) {
+  LrAccidentNotify notify;
+  CaptureCollector out;
+  Tuple pos;
+  pos.fields = {Field(kLrPosition), Field(int64_t{2}), Field(int64_t{4}),
+                Field(44.0), Field(int64_t{0})};
+  notify.Process(pos, &out);
+  EXPECT_EQ(out.total(), 0u);
+  Tuple accident;
+  accident.fields = {Field(kLrAccident), Field(int64_t{4})};
+  notify.Process(accident, &out);
+  notify.Process(pos, &out);
+  ASSERT_EQ(out.total(), 1u);
+  EXPECT_EQ(out.stream(0)[0].GetInt(2), 4);
+}
+
+// ------------------------------------------------------------ shared --
+
+class AppRegistryTest : public ::testing::TestWithParam<AppId> {};
+
+TEST_P(AppRegistryTest, ProfilesCoverEveryOperatorAndStream) {
+  auto app = MakeApp(GetParam());
+  ASSERT_TRUE(app.ok());
+  for (const auto& op : app->topology().ops()) {
+    auto p = app->profiles.Get(op.name);
+    ASSERT_TRUE(p.ok()) << op.name;
+    EXPECT_GT(p->te_cycles, 0.0) << op.name;
+    EXPECT_GE(p->selectivity.size(), op.output_streams.size()) << op.name;
+    EXPECT_GE(p->output_bytes.size(), op.output_streams.size()) << op.name;
+  }
+}
+
+TEST_P(AppRegistryTest, LegacyProfilesStrictlyCostlier) {
+  const AppId id = GetParam();
+  auto brisk = ProfilesFor(id, SystemKind::kBrisk);
+  auto storm = ProfilesFor(id, SystemKind::kStormLike);
+  auto flink = ProfilesFor(id, SystemKind::kFlinkLike);
+  auto nojumbo = ProfilesFor(id, SystemKind::kBriskNoJumbo);
+  ASSERT_TRUE(brisk.ok() && storm.ok() && flink.ok() && nojumbo.ok());
+  for (const auto& [name, p] : brisk->all()) {
+    EXPECT_GT(storm->Get(name)->te_cycles, p.te_cycles) << name;
+    EXPECT_GT(flink->Get(name)->te_cycles, p.te_cycles) << name;
+    EXPECT_GT(nojumbo->Get(name)->te_cycles, p.te_cycles) << name;
+    // Storm's per-tuple cost exceeds the no-jumbo variant's.
+    EXPECT_GT(storm->Get(name)->te_cycles, nojumbo->Get(name)->te_cycles);
+  }
+}
+
+TEST_P(AppRegistryTest, TelemetryIsolatedPerBundle) {
+  auto a = MakeApp(GetParam());
+  auto b = MakeApp(GetParam());
+  ASSERT_TRUE(a.ok() && b.ok());
+  a->telemetry->RecordTuple(0, 0);
+  EXPECT_EQ(a->telemetry->count(), 1u);
+  EXPECT_EQ(b->telemetry->count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppRegistryTest,
+                         ::testing::ValuesIn(kAllApps),
+                         [](const auto& info) {
+                           return AppName(info.param);
+                         });
+
+}  // namespace
+}  // namespace brisk::apps

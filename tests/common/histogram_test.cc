@@ -1,0 +1,180 @@
+// Unit + property tests for the log-bucketed streaming histogram.
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace brisk {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_TRUE(h.Cdf().empty());
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(1000.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000.0);
+  EXPECT_EQ(h.max(), 1000.0);
+  // Single sample: every quantile is that sample (within clamping).
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, MeanAndSumExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(HistogramTest, PercentileWithinRelativeErrorBound) {
+  // Log buckets with 2% growth: quantiles should be within ~2.5% of
+  // exact order statistics for a uniform sample.
+  Histogram h;
+  Rng rng(99);
+  std::vector<double> values;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = 10.0 + rng.NextDouble() * 100000.0;
+    values.push_back(v);
+    h.Add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.10, 0.50, 0.90, 0.99}) {
+    const double exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    const double approx = h.Percentile(q);
+    EXPECT_NEAR(approx, exact, exact * 0.03) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, PercentilesMonotoneInQ) {
+  Histogram h;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.NextExponential(5000.0) + 1.0);
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.Percentile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, ClampsToObservedExtremes) {
+  Histogram h;
+  h.Add(123.0);
+  h.Add(456.0);
+  EXPECT_GE(h.Percentile(0.0), 123.0);
+  EXPECT_LE(h.Percentile(1.0), 456.0);
+}
+
+TEST(HistogramTest, MergeEqualsUnion) {
+  Histogram a, b, all;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = 1.0 + rng.NextBounded(1000000);
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (const double q : {0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(q), all.Percentile(q));
+  }
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  a.Add(10);
+  a.Add(20);
+  const double p50 = a.Percentile(0.5);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Percentile(0.5), p50);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(HistogramTest, AddNEqualsRepeatedAdd) {
+  Histogram weighted, repeated;
+  weighted.AddN(500.0, 1000);
+  weighted.AddN(2000.0, 10);
+  for (int i = 0; i < 1000; ++i) repeated.Add(500.0);
+  for (int i = 0; i < 10; ++i) repeated.Add(2000.0);
+  EXPECT_EQ(weighted.count(), repeated.count());
+  EXPECT_DOUBLE_EQ(weighted.sum(), repeated.sum());
+  for (const double q : {0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(weighted.Percentile(q), repeated.Percentile(q));
+  }
+  // The heavy value dominates the median; the rare one only the tail.
+  EXPECT_LT(weighted.Percentile(0.5), 600.0);
+  EXPECT_GT(weighted.Percentile(0.999), 1500.0);
+}
+
+TEST(HistogramTest, AddNZeroCountIsNoOp) {
+  Histogram h;
+  h.AddN(100.0, 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_TRUE(h.Cdf().empty());
+}
+
+TEST(HistogramTest, CdfIsMonotoneAndEndsAtOne) {
+  Histogram h;
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) h.Add(1.0 + rng.NextBounded(1 << 20));
+  const auto cdf = h.Cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev_v = 0.0, prev_f = 0.0;
+  for (const auto& [v, f] : cdf) {
+    EXPECT_GT(v, prev_v);
+    EXPECT_GE(f, prev_f);
+    prev_v = v;
+    prev_f = f;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(HistogramTest, SubUnitValuesClampToFirstBucket) {
+  Histogram h;
+  h.Add(0.0);
+  h.Add(0.5);
+  h.Add(-3.0);  // negative values clamp rather than crash
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, ToStringMentionsCountAndPercentiles) {
+  Histogram h;
+  h.Add(100);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace brisk

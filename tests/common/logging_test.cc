@@ -1,0 +1,46 @@
+// Tests for the logging/CHECK layer.
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace brisk {
+namespace {
+
+TEST(LoggingTest, LevelFilterRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, MacrosCompileAndStream) {
+  // Below-threshold messages must not evaluate as errors; these lines
+  // exercise the streaming path of every level.
+  SetLogLevel(LogLevel::kError);
+  BRISK_LOG(Debug) << "dropped " << 1;
+  BRISK_LOG(Info) << "dropped " << 2.5;
+  BRISK_LOG(Warn) << "dropped " << "three";
+  SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  BRISK_CHECK(1 + 1 == 2) << "never printed";
+  BRISK_CHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH({ BRISK_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH({ BRISK_CHECK_OK(Status::Internal("bad state")); },
+               "bad state");
+}
+
+}  // namespace
+}  // namespace brisk

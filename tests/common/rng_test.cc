@@ -1,0 +1,130 @@
+// Tests for the deterministic PRNG and its distributions.
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace brisk {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedRoughlyUniform) {
+  Rng rng(4);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 800000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.03);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 200000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 200000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(8);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextExponential(250.0);
+  EXPECT_NEAR(sum / kSamples, 250.0, 5.0);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(9);
+  constexpr uint64_t kN = 1000;
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[rng.NextZipf(kN, 0.9)];
+  // Rank 0 dominates any mid-range rank; all within bounds.
+  for (const auto& [rank, _] : counts) EXPECT_LT(rank, kN);
+  EXPECT_GT(counts[0], counts[kN / 2] * 10);
+}
+
+TEST(RngTest, ZipfThetaZeroIsUniform) {
+  Rng rng(10);
+  constexpr uint64_t kN = 16;
+  int counts[kN] = {0};
+  constexpr int kSamples = 320000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.NextZipf(kN, 0.0)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / static_cast<int>(kN),
+                kSamples / static_cast<int>(kN) * 0.05);
+  }
+}
+
+TEST(RngTest, ZipfHandlesParameterChanges) {
+  // The memoised constants must recompute when (n, theta) changes.
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.NextZipf(10, 0.5), 10u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.NextZipf(100, 0.9), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.NextZipf(10, 0.5), 10u);
+}
+
+TEST(RngTest, SplitMix64Advances) {
+  uint64_t state = 123;
+  const uint64_t a = SplitMix64(state);
+  const uint64_t b = SplitMix64(state);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  // Usable with <random> adaptors.
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  Rng rng(12);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace brisk

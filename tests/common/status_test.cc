@@ -1,0 +1,114 @@
+// Unit tests for Status / StatusOr.
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace brisk {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists},
+      {Status::ResourceExhausted("d"), StatusCode::kResourceExhausted},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition},
+      {Status::OutOfRange("f"), StatusCode::kOutOfRange},
+      {Status::Unimplemented("g"), StatusCode::kUnimplemented},
+      {Status::Internal("h"), StatusCode::kInternal},
+      {Status::Cancelled("i"), StatusCode::kCancelled},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, PredicatesMatchOnlyTheirCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(StatusOrTest, MoveOnlyPayload) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v->size(), 5u);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  BRISK_ASSIGN_OR_RETURN(int h, Half(x));
+  BRISK_ASSIGN_OR_RETURN(int q, Half(h));
+  *out = q;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacroPropagatesErrors) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(8, &out).ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(UseAssignOrReturn(6, &out).IsInvalidArgument());  // 3 is odd
+  EXPECT_TRUE(UseAssignOrReturn(5, &out).IsInvalidArgument());
+}
+
+Status UseReturnNotOk(bool fail) {
+  BRISK_RETURN_NOT_OK(fail ? Status::Internal("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(UseReturnNotOk(false).ok());
+  EXPECT_EQ(UseReturnNotOk(true).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace brisk

@@ -1,0 +1,142 @@
+// Tests for tuple representation, hashing, and the legacy-mode codec.
+#include <gtest/gtest.h>
+
+#include "common/serde.h"
+#include "common/tuple.h"
+
+namespace brisk {
+namespace {
+
+Tuple MixedTuple() {
+  Tuple t;
+  t.fields.emplace_back(int64_t{-77});
+  t.fields.emplace_back(3.25);
+  t.fields.emplace_back(std::string("hello world"));
+  t.origin_ts_ns = 123456789;
+  t.stream_id = 2;
+  return t;
+}
+
+TEST(TupleTest, AccessorsReturnTypedFields) {
+  const Tuple t = MixedTuple();
+  EXPECT_EQ(t.GetInt(0), -77);
+  EXPECT_DOUBLE_EQ(t.GetDouble(1), 3.25);
+  EXPECT_EQ(t.GetString(2), "hello world");
+}
+
+TEST(TupleTest, SizeBytesCountsFieldsAndMetadata) {
+  Tuple t;
+  EXPECT_EQ(t.SizeBytes(), sizeof(int64_t) + sizeof(uint16_t));
+  t.fields.emplace_back(int64_t{1});
+  const size_t with_int = t.SizeBytes();
+  EXPECT_EQ(with_int, sizeof(int64_t) * 2 + sizeof(uint16_t));
+  t.fields.emplace_back(std::string("abcd"));
+  EXPECT_EQ(t.SizeBytes(), with_int + 4 + sizeof(uint32_t));
+}
+
+TEST(TupleTest, FieldSizeBytesPerType) {
+  EXPECT_EQ(FieldSizeBytes(Field(int64_t{1})), 8u);
+  EXPECT_EQ(FieldSizeBytes(Field(1.0)), 8u);
+  EXPECT_EQ(FieldSizeBytes(Field(std::string("abc"))), 3u + 4u);
+}
+
+TEST(TupleTest, HashFieldStableAndTypeSensitive) {
+  EXPECT_EQ(HashField(Field(std::string("word"))),
+            HashField(Field(std::string("word"))));
+  EXPECT_NE(HashField(Field(std::string("word"))),
+            HashField(Field(std::string("work"))));
+  EXPECT_EQ(HashField(Field(int64_t{5})), HashField(Field(int64_t{5})));
+  EXPECT_NE(HashField(Field(int64_t{5})), HashField(Field(int64_t{6})));
+}
+
+TEST(SerdeTest, RoundTripsMixedTuple) {
+  const Tuple t = MixedTuple();
+  std::vector<uint8_t> buf;
+  SerializeTuple(t, &buf);
+  size_t off = 0;
+  auto decoded = DeserializeTuple(buf, &off);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(off, buf.size());
+  EXPECT_EQ(decoded->origin_ts_ns, t.origin_ts_ns);
+  EXPECT_EQ(decoded->stream_id, t.stream_id);
+  ASSERT_EQ(decoded->fields.size(), t.fields.size());
+  EXPECT_EQ(decoded->GetInt(0), -77);
+  EXPECT_DOUBLE_EQ(decoded->GetDouble(1), 3.25);
+  EXPECT_EQ(decoded->GetString(2), "hello world");
+}
+
+TEST(SerdeTest, RoundTripsEmptyTuple) {
+  Tuple t;
+  std::vector<uint8_t> buf;
+  SerializeTuple(t, &buf);
+  size_t off = 0;
+  auto decoded = DeserializeTuple(buf, &off);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->fields.empty());
+}
+
+TEST(SerdeTest, BatchRoundTripPreservesOrder) {
+  std::vector<Tuple> batch;
+  for (int i = 0; i < 50; ++i) {
+    Tuple t;
+    t.fields.emplace_back(int64_t{i});
+    t.fields.emplace_back(std::string(i, 'x'));
+    batch.push_back(std::move(t));
+  }
+  std::vector<uint8_t> buf;
+  SerializeBatch(batch, &buf);
+  auto decoded = DeserializeBatch(buf, batch.size());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), batch.size());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ((*decoded)[i].GetInt(0), i);
+    EXPECT_EQ((*decoded)[i].GetString(1).size(), static_cast<size_t>(i));
+  }
+}
+
+TEST(SerdeTest, TruncatedBufferFailsCleanly) {
+  const Tuple t = MixedTuple();
+  std::vector<uint8_t> buf;
+  SerializeTuple(t, &buf);
+  for (const size_t cut : {size_t{0}, size_t{3}, buf.size() / 2,
+                           buf.size() - 1}) {
+    std::vector<uint8_t> truncated(buf.begin(), buf.begin() + cut);
+    size_t off = 0;
+    auto decoded = DeserializeTuple(truncated, &off);
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(SerdeTest, CorruptFieldTagRejected) {
+  Tuple t;
+  t.fields.emplace_back(int64_t{1});
+  std::vector<uint8_t> buf;
+  SerializeTuple(t, &buf);
+  // Field tag lives right after the fixed header.
+  const size_t tag_offset =
+      sizeof(int64_t) + sizeof(uint16_t) + sizeof(uint32_t);
+  buf[tag_offset] = 0x7F;
+  size_t off = 0;
+  auto decoded = DeserializeTuple(buf, &off);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+}
+
+TEST(SerdeTest, DeserializeBatchCountMismatchFails) {
+  std::vector<Tuple> batch(2);
+  std::vector<uint8_t> buf;
+  SerializeBatch(batch, &buf);
+  EXPECT_TRUE(DeserializeBatch(buf, 2).ok());
+  EXPECT_FALSE(DeserializeBatch(buf, 3).ok());
+}
+
+TEST(JumboTupleTest, SizeAndEmpty) {
+  JumboTuple j;
+  EXPECT_TRUE(j.empty());
+  j.tuples.emplace_back();
+  EXPECT_EQ(j.size(), 1u);
+  EXPECT_FALSE(j.empty());
+}
+
+}  // namespace
+}  // namespace brisk

@@ -1,0 +1,169 @@
+// Unit tests for engine internals: channels, task wiring/routing, and
+// the execution-mode configurations.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "engine/channel.h"
+#include "engine/config.h"
+#include "engine/task.h"
+
+namespace brisk::engine {
+namespace {
+
+Tuple WordTuple(const std::string& w) {
+  Tuple t;
+  t.fields.emplace_back(w);
+  return t;
+}
+
+TEST(ChannelTest, RoundTripsEnvelopes) {
+  Channel ch(0, 1, 4);
+  EXPECT_EQ(ch.from_instance(), 0);
+  EXPECT_EQ(ch.to_instance(), 1);
+  Envelope env;
+  env.count = 3;
+  env.batch = std::make_unique<JumboTuple>();
+  env.batch->tuples.push_back(WordTuple("a"));
+  ASSERT_TRUE(ch.TryPush(std::move(env)));
+  Envelope out;
+  ASSERT_TRUE(ch.TryPop(&out));
+  EXPECT_EQ(out.count, 3u);
+  ASSERT_NE(out.batch, nullptr);
+  EXPECT_EQ(out.batch->tuples[0].GetString(0), "a");
+  EXPECT_FALSE(ch.TryPop(&out));
+}
+
+TEST(ChannelTest, RetryAfterFullPushKeepsEnvelope) {
+  Channel ch(0, 1, 2);
+  size_t pushed = 0;
+  while (true) {
+    Envelope env;
+    env.count = 1;
+    env.batch = std::make_unique<JumboTuple>();
+    if (!ch.TryPush(std::move(env))) {
+      // The failed envelope must still be intact for a retry.
+      ASSERT_NE(env.batch, nullptr);
+      break;
+    }
+    ++pushed;
+  }
+  EXPECT_GE(pushed, 2u);
+}
+
+TEST(EngineConfigTest, FactoriesEncodeSystemTraits) {
+  const EngineConfig brisk = EngineConfig::Brisk();
+  EXPECT_GT(brisk.batch_size, 1);
+  EXPECT_FALSE(brisk.serialize_tuples);
+  EXPECT_FALSE(brisk.duplicate_headers);
+
+  const EngineConfig nojumbo = EngineConfig::BriskNoJumbo();
+  EXPECT_EQ(nojumbo.batch_size, 1);
+  EXPECT_FALSE(nojumbo.serialize_tuples);
+
+  const EngineConfig storm = EngineConfig::StormLike();
+  EXPECT_TRUE(storm.serialize_tuples);
+  EXPECT_TRUE(storm.duplicate_headers);
+  EXPECT_TRUE(storm.extra_condition_checks);
+  EXPECT_LT(storm.batch_size, brisk.batch_size);
+
+  const EngineConfig flink = EngineConfig::FlinkLike();
+  EXPECT_TRUE(flink.serialize_tuples);
+  EXPECT_FALSE(flink.extra_condition_checks);
+}
+
+/// Drives a Task directly (no thread) to verify collector routing.
+class RoutingFixture : public ::testing::Test {
+ protected:
+  /// Builds a producer task with one route of `consumers` channels
+  /// under the given grouping.
+  void Wire(api::GroupingType grouping, int consumers, int batch_size,
+            size_t key_field = 0) {
+    config_ = EngineConfig::Brisk();
+    config_.batch_size = batch_size;
+    task_ = std::make_unique<Task>(0, 0, config_, nullptr);
+    OutRoute route;
+    route.stream_id = 0;
+    route.grouping = grouping;
+    route.key_field = key_field;
+    for (int c = 0; c < consumers; ++c) {
+      channels_.push_back(std::make_unique<Channel>(0, c + 1, 64));
+      route.channels.push_back(channels_.back().get());
+      route.buffer_index.push_back(task_->AddBuffer());
+    }
+    task_->AddOutRoute(std::move(route));
+  }
+
+  /// Pops every batch from channel `c` and returns the tuples.
+  std::vector<Tuple> Drain(int c) {
+    std::vector<Tuple> out;
+    Envelope env;
+    while (channels_[c]->TryPop(&env)) {
+      for (auto& t : env.batch->tuples) out.push_back(t);
+    }
+    return out;
+  }
+
+  EngineConfig config_;
+  std::unique_ptr<Task> task_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+TEST_F(RoutingFixture, ShuffleRoundRobinsAcrossConsumers) {
+  Wire(api::GroupingType::kShuffle, 3, /*batch_size=*/2);
+  for (int i = 0; i < 12; ++i) task_->EmitTo(0, WordTuple("w"));
+  // 12 tuples over 3 consumers round-robin = 4 each (batch size 2 =>
+  // every full batch was flushed).
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(Drain(c).size(), 4u) << "consumer " << c;
+  }
+}
+
+TEST_F(RoutingFixture, FieldsGroupingRoutesSameKeyToSameConsumer) {
+  Wire(api::GroupingType::kFields, 4, /*batch_size=*/1);
+  const char* words[] = {"alpha", "beta", "gamma", "delta", "alpha",
+                         "beta",  "alpha"};
+  for (const char* w : words) task_->EmitTo(0, WordTuple(w));
+  // Collect word->consumer mapping; each word must map to exactly one.
+  std::map<std::string, std::set<int>> where;
+  for (int c = 0; c < 4; ++c) {
+    for (const auto& t : Drain(c)) where[t.GetString(0)].insert(c);
+  }
+  EXPECT_EQ(where.size(), 4u);  // four distinct words
+  for (const auto& [word, consumers] : where) {
+    EXPECT_EQ(consumers.size(), 1u) << word << " split across consumers";
+  }
+}
+
+TEST_F(RoutingFixture, BroadcastCopiesToEveryConsumer) {
+  Wire(api::GroupingType::kBroadcast, 3, /*batch_size=*/1);
+  for (int i = 0; i < 5; ++i) task_->EmitTo(0, WordTuple("b"));
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(Drain(c).size(), 5u) << "consumer " << c;
+  }
+}
+
+TEST_F(RoutingFixture, GlobalGoesToFirstReplicaOnly) {
+  Wire(api::GroupingType::kGlobal, 1, /*batch_size=*/1);
+  for (int i = 0; i < 5; ++i) task_->EmitTo(0, WordTuple("g"));
+  EXPECT_EQ(Drain(0).size(), 5u);
+}
+
+TEST_F(RoutingFixture, PartialBatchesStayBufferedUntilFull) {
+  Wire(api::GroupingType::kShuffle, 1, /*batch_size=*/8);
+  for (int i = 0; i < 7; ++i) task_->EmitTo(0, WordTuple("p"));
+  EXPECT_TRUE(Drain(0).empty());  // below the jumbo size: not flushed
+  task_->EmitTo(0, WordTuple("p"));
+  EXPECT_EQ(Drain(0).size(), 8u);  // 8th tuple completed the batch
+}
+
+TEST_F(RoutingFixture, StatsCountEmissions) {
+  Wire(api::GroupingType::kShuffle, 2, /*batch_size=*/2);
+  for (int i = 0; i < 10; ++i) task_->EmitTo(0, WordTuple("s"));
+  EXPECT_EQ(task_->stats().tuples_out, 10u);
+  EXPECT_EQ(task_->stats().batches_out, 4u);  // 2 full batches each side
+}
+
+}  // namespace
+}  // namespace brisk::engine

@@ -1,0 +1,195 @@
+// Property-based tests of performance-model invariants, swept across
+// all four applications and both evaluation servers (TEST_P).
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "common/rng.h"
+#include "model/perf_model.h"
+#include "optimizer/baselines.h"
+
+namespace brisk::model {
+namespace {
+
+using apps::AppId;
+using hw::MachineSpec;
+
+struct Sweep {
+  AppId app;
+  bool server_a;
+};
+
+std::string SweepName(const ::testing::TestParamInfo<Sweep>& info) {
+  return std::string(apps::AppName(info.param.app)) +
+         (info.param.server_a ? "_ServerA" : "_ServerB");
+}
+
+class ModelPropertyTest : public ::testing::TestWithParam<Sweep> {
+ protected:
+  void SetUp() override {
+    machine_ = GetParam().server_a ? MachineSpec::ServerA()
+                                   : MachineSpec::ServerB();
+    auto app = apps::MakeApp(GetParam().app);
+    ASSERT_TRUE(app.ok());
+    bundle_ = std::move(app).value();
+  }
+
+  MachineSpec machine_;
+  apps::AppBundle bundle_;
+};
+
+TEST_P(ModelPropertyTest, BoundDominatesRandomCompletions) {
+  PerfModel model(&machine_, &bundle_.profiles);
+  Rng rng(2024);
+  // Root bound: nothing placed.
+  auto plan = ExecutionPlan::CreateDefault(bundle_.topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  auto bound = model.Bound(*plan, 1e12);
+  ASSERT_TRUE(bound.ok());
+  // Any random full placement must be <= the bound.
+  for (int trial = 0; trial < 30; ++trial) {
+    for (int i = 0; i < plan->num_instances(); ++i) {
+      plan->SetSocket(i, static_cast<int>(
+                             rng.NextBounded(machine_.num_sockets())));
+    }
+    auto eval = model.Evaluate(*plan, 1e12);
+    ASSERT_TRUE(eval.ok());
+    EXPECT_LE(eval->throughput, *bound * (1 + 1e-9)) << "trial " << trial;
+  }
+}
+
+TEST_P(ModelPropertyTest, PartialBoundsAreMonotoneUnderPlacement) {
+  // Placing one more instance can only constrain the relaxation: the
+  // bound must not increase.
+  PerfModel model(&machine_, &bundle_.profiles);
+  auto plan = ExecutionPlan::CreateDefault(bundle_.topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  double prev = *model.Bound(*plan, 1e12);
+  Rng rng(7);
+  for (int i = 0; i < plan->num_instances(); ++i) {
+    plan->SetSocket(i, static_cast<int>(
+                           rng.NextBounded(machine_.num_sockets())));
+    auto bound = model.Bound(*plan, 1e12);
+    ASSERT_TRUE(bound.ok());
+    EXPECT_LE(*bound, prev * (1 + 1e-9)) << "after placing " << i;
+    prev = *bound;
+  }
+}
+
+TEST_P(ModelPropertyTest, FetchModeOrderingHolds) {
+  // kAlwaysRemote <= relative-location <= kAlwaysLocal on every plan.
+  PerfModel model(&machine_, &bundle_.profiles);
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto plan = opt::RandomPlan(bundle_.topology(), machine_, &rng, 32);
+    ASSERT_TRUE(plan.ok());
+    ModelOptions rel, loc, rem;
+    loc.fetch_mode = FetchCostMode::kAlwaysLocal;
+    rem.fetch_mode = FetchCostMode::kAlwaysRemote;
+    const double v_rel = model.Evaluate(*plan, 1e12, rel)->throughput;
+    const double v_loc = model.Evaluate(*plan, 1e12, loc)->throughput;
+    const double v_rem = model.Evaluate(*plan, 1e12, rem)->throughput;
+    EXPECT_LE(v_rem, v_rel * (1 + 1e-9));
+    EXPECT_LE(v_rel, v_loc * (1 + 1e-9));
+  }
+}
+
+TEST_P(ModelPropertyTest, ThroughputMonotoneInInputRate) {
+  PerfModel model(&machine_, &bundle_.profiles);
+  auto plan = ExecutionPlan::CreateDefault(bundle_.topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+  double prev = 0.0;
+  for (const double rate : {1e3, 1e4, 1e5, 1e6, 1e9, 1e12}) {
+    auto r = model.Evaluate(*plan, rate);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GE(r->throughput, prev - 1e-6) << "rate " << rate;
+    prev = r->throughput;
+  }
+}
+
+TEST_P(ModelPropertyTest, SocketAccountingMatchesInstanceSums) {
+  PerfModel model(&machine_, &bundle_.profiles);
+  Rng rng(31);
+  auto plan = opt::RandomPlan(bundle_.topology(), machine_, &rng, 24);
+  ASSERT_TRUE(plan.ok());
+  auto r = model.Evaluate(*plan, 1e12);
+  ASSERT_TRUE(r.ok());
+  // Eq. 3's left side recomputed from instance stats must match the
+  // reported socket usage.
+  std::vector<double> cpu(machine_.num_sockets(), 0.0);
+  std::vector<int> count(machine_.num_sockets(), 0);
+  for (int i = 0; i < plan->num_instances(); ++i) {
+    const int s = plan->instance(i).socket;
+    cpu[s] += r->instances[i].processed * r->instances[i].t_ns;
+    ++count[s];
+  }
+  for (int s = 0; s < machine_.num_sockets(); ++s) {
+    EXPECT_NEAR(r->sockets[s].cpu_ns_per_sec, cpu[s],
+                1e-6 * std::max(1.0, cpu[s]));
+    EXPECT_EQ(r->sockets[s].instances, count[s]);
+  }
+}
+
+TEST_P(ModelPropertyTest, CollocatedPlanHasNoTrafficOrFetchCost) {
+  PerfModel model(&machine_, &bundle_.profiles);
+  auto plan = ExecutionPlan::CreateDefault(bundle_.topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+  auto r = model.Evaluate(*plan, 1e12);
+  ASSERT_TRUE(r.ok());
+  for (const double t : r->link_traffic) EXPECT_EQ(t, 0.0);
+  // Every instance's T(p) equals its T_e exactly (T_f = 0).
+  for (int i = 0; i < plan->num_instances(); ++i) {
+    const auto& op = bundle_.topology().op(plan->instance(i).op);
+    const auto prof = bundle_.profiles.Get(op.name);
+    ASSERT_TRUE(prof.ok());
+    EXPECT_NEAR(r->instances[i].t_ns,
+                machine_.CyclesToNs(prof->te_cycles), 1e-9);
+  }
+}
+
+TEST_P(ModelPropertyTest, ZeroInputRateGivesZeroThroughput) {
+  PerfModel model(&machine_, &bundle_.profiles);
+  auto plan = ExecutionPlan::CreateDefault(bundle_.topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+  auto r = model.Evaluate(*plan, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->throughput, 0.0);
+  for (const auto& st : r->instances) EXPECT_FALSE(st.bottleneck);
+}
+
+TEST_P(ModelPropertyTest, ReplicationNeverHurtsUnderLocalPlacement) {
+  // Doubling a bottleneck operator's replication (keeping everything
+  // collocated on one socket with enough cores) must not lower R.
+  PerfModel model(&machine_, &bundle_.profiles);
+  auto base = ExecutionPlan::CreateDefault(bundle_.topology_ptr.get());
+  ASSERT_TRUE(base.ok());
+  base->PlaceAllOn(0);
+  auto r_base = model.Evaluate(*base, 1e12);
+  ASSERT_TRUE(r_base.ok());
+  if (r_base->bottleneck_op < 0) GTEST_SKIP() << "no bottleneck";
+  std::vector<int> repl = base->replication();
+  repl[r_base->bottleneck_op] *= 2;
+  auto grown = ExecutionPlan::Create(bundle_.topology_ptr.get(), repl);
+  ASSERT_TRUE(grown.ok());
+  grown->PlaceAllOn(0);
+  auto r_grown = model.Evaluate(*grown, 1e12);
+  ASSERT_TRUE(r_grown.ok());
+  EXPECT_GE(r_grown->throughput, r_base->throughput * (1 - 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndServers, ModelPropertyTest,
+    ::testing::Values(Sweep{AppId::kWordCount, true},
+                      Sweep{AppId::kWordCount, false},
+                      Sweep{AppId::kFraudDetection, true},
+                      Sweep{AppId::kFraudDetection, false},
+                      Sweep{AppId::kSpikeDetection, true},
+                      Sweep{AppId::kSpikeDetection, false},
+                      Sweep{AppId::kLinearRoad, true},
+                      Sweep{AppId::kLinearRoad, false}),
+    SweepName);
+
+}  // namespace
+}  // namespace brisk::model

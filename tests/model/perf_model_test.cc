@@ -1,0 +1,317 @@
+// Unit tests for the rate-based performance model (§3.1, Eq. 3–5).
+#include "model/perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/word_count.h"
+#include "hardware/machine_spec.h"
+
+namespace brisk::model {
+namespace {
+
+using api::Topology;
+using api::TopologyBuilder;
+using hw::MachineSpec;
+
+// Minimal spout: tests only exercise the model, never the factories.
+api::SpoutFactory NullSpout() {
+  return [] { return std::unique_ptr<api::Spout>(); };
+}
+api::OperatorFactory NullBolt() {
+  return [] { return std::unique_ptr<api::Operator>(); };
+}
+
+/// Two-operator chain: spout -> sink.
+Topology Chain2() {
+  TopologyBuilder b("chain2");
+  b.AddSpout("src", NullSpout());
+  b.AddBolt("snk", NullBolt()).ShuffleFrom("src");
+  auto topo = std::move(b).Build();
+  EXPECT_TRUE(topo.ok()) << topo.status();
+  return std::move(topo).value();
+}
+
+/// Three-operator chain: spout -> mid -> sink.
+Topology Chain3() {
+  TopologyBuilder b("chain3");
+  b.AddSpout("src", NullSpout());
+  b.AddBolt("mid", NullBolt()).ShuffleFrom("src");
+  b.AddBolt("snk", NullBolt()).ShuffleFrom("mid");
+  auto topo = std::move(b).Build();
+  EXPECT_TRUE(topo.ok()) << topo.status();
+  return std::move(topo).value();
+}
+
+ProfileSet UniformProfiles(double te_cycles, double out_bytes = 64.0,
+                           double sel = 1.0) {
+  ProfileSet p;
+  for (const char* name : {"src", "mid", "snk"}) {
+    p.Set(name, OperatorProfile::Simple(te_cycles, /*m=*/out_bytes,
+                                        out_bytes, sel));
+  }
+  return p;
+}
+
+TEST(PerfModelTest, UnderSuppliedForwardsInputRate) {
+  // 1000 cycles @1 GHz = 1 us/tuple => capacity 1e6 tuples/s.
+  MachineSpec m = MachineSpec::Symmetric(2, 8, 1.0, 50, 300, 50, 10);
+  Topology topo = Chain2();
+  ProfileSet prof = UniformProfiles(1000);
+  auto plan = ExecutionPlan::CreateDefault(&topo);
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+
+  PerfModel model(&m, &prof);
+  auto r = model.Evaluate(*plan, /*I=*/1e5);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Under-supplied: every operator forwards its input (Case 2, §3.1).
+  EXPECT_NEAR(r->throughput, 1e5, 1.0);
+  for (const auto& st : r->instances) {
+    EXPECT_FALSE(st.bottleneck);
+    EXPECT_NEAR(st.processed, 1e5, 1.0);
+  }
+}
+
+TEST(PerfModelTest, OverSuppliedCapsAtCapacityAndFlagsBottleneck) {
+  MachineSpec m = MachineSpec::Symmetric(2, 8, 1.0, 50, 300, 50, 10);
+  Topology topo = Chain2();
+  ProfileSet prof = UniformProfiles(1000);  // capacity 1e6/s
+  auto plan = ExecutionPlan::CreateDefault(&topo);
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+
+  PerfModel model(&m, &prof);
+  auto r = model.Evaluate(*plan, /*I=*/1e12);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->throughput, 1e6, 1e3);
+  EXPECT_TRUE(r->instances[0].bottleneck);  // spout over-fed
+  EXPECT_GE(r->bottleneck_op, 0);
+}
+
+TEST(PerfModelTest, RemotePlacementAddsFetchCostAndLowersThroughput) {
+  MachineSpec m = MachineSpec::Symmetric(2, 8, 1.0, 50, 500, 50, 10);
+  Topology topo = Chain2();
+  // 64-byte tuples = 1 cache line => T_f = 500 ns remote.
+  ProfileSet prof = UniformProfiles(1000, /*out_bytes=*/64.0);
+  auto plan = ExecutionPlan::CreateDefault(&topo);
+  ASSERT_TRUE(plan.ok());
+
+  PerfModel model(&m, &prof);
+  plan->PlaceAllOn(0);
+  auto local = model.Evaluate(*plan, 1e12);
+  ASSERT_TRUE(local.ok());
+
+  plan->SetSocket(1, 1);  // sink remote to spout
+  auto remote = model.Evaluate(*plan, 1e12);
+  ASSERT_TRUE(remote.ok());
+
+  // Local: sink T = 1000 ns => 1e6/s. Remote: T = 1500 ns => 666 k/s.
+  EXPECT_NEAR(local->throughput, 1e6, 1e3);
+  EXPECT_NEAR(remote->throughput, 1e9 / 1500.0, 1e3);
+  EXPECT_LT(remote->throughput, local->throughput);
+  // Sink's T(p) reflects Formula 2.
+  EXPECT_NEAR(remote->instances[1].t_ns, 1500.0, 1.0);
+}
+
+TEST(PerfModelTest, SelectivityMultipliesDownstreamRate) {
+  MachineSpec m = MachineSpec::Symmetric(1, 16, 1.0, 50, 300, 50, 10);
+  Topology topo = Chain3();
+  ProfileSet prof;
+  prof.Set("src", OperatorProfile::Simple(1000, 64, 64, 1.0));
+  prof.Set("mid", OperatorProfile::Simple(100, 64, 64, /*sel=*/10.0));
+  prof.Set("snk", OperatorProfile::Simple(10, 64, 64, 1.0));
+  auto plan = ExecutionPlan::CreateDefault(&topo);
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+
+  PerfModel model(&m, &prof);
+  auto r = model.Evaluate(*plan, 1e5);
+  ASSERT_TRUE(r.ok());
+  // mid expands 1e5 -> 1e6; sink consumes 1e6.
+  EXPECT_NEAR(r->instances[2].input_rate, 1e6, 1.0);
+  EXPECT_NEAR(r->throughput, 1e6, 1.0);
+}
+
+TEST(PerfModelTest, ReplicationSplitsLoadAcrossInstances) {
+  MachineSpec m = MachineSpec::Symmetric(1, 16, 1.0, 50, 300, 50, 10);
+  Topology topo = Chain2();
+  ProfileSet prof = UniformProfiles(1000);
+  auto plan = ExecutionPlan::Create(&topo, {1, 4});
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+
+  PerfModel model(&m, &prof);
+  auto r = model.Evaluate(*plan, 1e12);
+  ASSERT_TRUE(r.ok());
+  // Spout caps at 1e6/s; each of 4 sinks gets 250 k/s (shuffle).
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_NEAR(r->instances[i].input_rate, 2.5e5, 1e2);
+  }
+  EXPECT_NEAR(r->throughput, 1e6, 1e3);
+}
+
+TEST(PerfModelTest, CpuConstraintViolationReported) {
+  // One core per socket: two busy instances cannot share socket 0.
+  MachineSpec m = MachineSpec::Symmetric(2, 1, 1.0, 50, 300, 50, 10);
+  Topology topo = Chain2();
+  ProfileSet prof = UniformProfiles(1000);
+  auto plan = ExecutionPlan::CreateDefault(&topo);
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+
+  PerfModel model(&m, &prof);
+  auto r = model.Evaluate(*plan, 1e12);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->feasible());
+  bool found_core = false;
+  for (const auto& v : r->violations) {
+    found_core |= v.kind == ConstraintViolation::kCoreCount;
+  }
+  EXPECT_TRUE(found_core);
+}
+
+TEST(PerfModelTest, ChannelBandwidthConstraintViolationReported) {
+  // Tiny remote channel: 1 MB/s. 64-byte tuples at ~1e6/s = 64 MB/s.
+  MachineSpec m = MachineSpec::Symmetric(2, 8, 1.0, 50, 100, 50, 0.001);
+  Topology topo = Chain2();
+  ProfileSet prof = UniformProfiles(1000);
+  auto plan = ExecutionPlan::CreateDefault(&topo);
+  ASSERT_TRUE(plan.ok());
+  plan->SetSocket(0, 0);
+  plan->SetSocket(1, 1);
+
+  PerfModel model(&m, &prof);
+  auto r = model.Evaluate(*plan, 1e12);
+  ASSERT_TRUE(r.ok());
+  bool found_channel = false;
+  for (const auto& v : r->violations) {
+    found_channel |= v.kind == ConstraintViolation::kChannelBandwidth;
+  }
+  EXPECT_TRUE(found_channel);
+  // Traffic matrix has the flow on (0,1) and nothing on (1,0).
+  EXPECT_GT(r->link_traffic[0 * 2 + 1], 0.0);
+  EXPECT_EQ(r->link_traffic[1 * 2 + 0], 0.0);
+}
+
+TEST(PerfModelTest, BoundDominatesAnyCompletion) {
+  MachineSpec m = MachineSpec::ServerA();
+  Topology topo = Chain3();
+  ProfileSet prof = UniformProfiles(1200, /*out_bytes=*/128);
+  auto plan = ExecutionPlan::Create(&topo, {2, 3, 2});
+  ASSERT_TRUE(plan.ok());
+
+  PerfModel model(&m, &prof);
+  auto bound = model.Bound(*plan, 1e12);  // nothing placed
+  ASSERT_TRUE(bound.ok());
+
+  // Any concrete placement must not beat the root bound.
+  plan->PlaceAllOn(0);
+  plan->SetSocket(2, 4);
+  plan->SetSocket(5, 7);
+  auto r = model.Evaluate(*plan, 1e12);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->throughput, *bound + 1e-6);
+}
+
+TEST(PerfModelTest, FixedFetchModesBracketRelativeLocation) {
+  MachineSpec m = MachineSpec::ServerA();
+  Topology topo = Chain3();
+  ProfileSet prof = UniformProfiles(1200, 128);
+  auto plan = ExecutionPlan::CreateDefault(&topo);
+  ASSERT_TRUE(plan.ok());
+  plan->SetSocket(0, 0);
+  plan->SetSocket(1, 1);
+  plan->SetSocket(2, 4);
+
+  PerfModel model(&m, &prof);
+  ModelOptions rel, local, remote;
+  local.fetch_mode = FetchCostMode::kAlwaysLocal;
+  remote.fetch_mode = FetchCostMode::kAlwaysRemote;
+  auto r_rel = model.Evaluate(*plan, 1e12, rel);
+  auto r_loc = model.Evaluate(*plan, 1e12, local);
+  auto r_rem = model.Evaluate(*plan, 1e12, remote);
+  ASSERT_TRUE(r_rel.ok());
+  ASSERT_TRUE(r_loc.ok());
+  ASSERT_TRUE(r_rem.ok());
+  EXPECT_LE(r_rem->throughput, r_rel->throughput + 1e-6);
+  EXPECT_LE(r_rel->throughput, r_loc->throughput + 1e-6);
+}
+
+TEST(PerfModelTest, UnplacedRequiresAllowUnplaced) {
+  MachineSpec m = MachineSpec::Symmetric(2, 8, 1.0, 50, 300, 50, 10);
+  Topology topo = Chain2();
+  ProfileSet prof = UniformProfiles(1000);
+  auto plan = ExecutionPlan::CreateDefault(&topo);
+  ASSERT_TRUE(plan.ok());
+
+  PerfModel model(&m, &prof);
+  auto r = model.Evaluate(*plan, 1e6);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+
+  ModelOptions opts;
+  opts.allow_unplaced = true;
+  auto r2 = model.Evaluate(*plan, 1e6, opts);
+  EXPECT_TRUE(r2.ok());
+}
+
+TEST(PerfModelTest, CriticalPathSumsChainServiceTimes) {
+  MachineSpec m = MachineSpec::Symmetric(2, 8, 1.0, 50, 500, 50, 10);
+  Topology topo = Chain3();
+  ProfileSet prof;
+  prof.Set("src", OperatorProfile::Simple(1000, 64, 64));  // 1000 ns
+  prof.Set("mid", OperatorProfile::Simple(2000, 64, 64));  // 2000 ns
+  prof.Set("snk", OperatorProfile::Simple(500, 64, 64));   // 500 ns
+  auto plan = ExecutionPlan::CreateDefault(&topo);
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+  PerfModel model(&m, &prof);
+  auto local = model.Evaluate(*plan, 1e3);
+  ASSERT_TRUE(local.ok());
+  EXPECT_NEAR(local->critical_path_ns, 3500.0, 1e-6);
+
+  // A remote hop adds its Formula-2 fetch to the path.
+  plan->SetSocket(2, 1);  // sink remote to mid
+  auto remote = model.Evaluate(*plan, 1e3);
+  ASSERT_TRUE(remote.ok());
+  EXPECT_NEAR(remote->critical_path_ns, 3500.0 + 500.0, 1e-6);
+}
+
+TEST(PerfModelTest, CriticalPathTakesLongestBranch) {
+  MachineSpec m = MachineSpec::Symmetric(1, 8, 1.0, 50, 500, 50, 10);
+  api::TopologyBuilder b("diamond");
+  b.AddSpout("src", NullSpout());
+  b.AddBolt("cheap", NullBolt()).ShuffleFrom("src");
+  b.AddBolt("dear", NullBolt()).ShuffleFrom("src");
+  b.AddBolt("snk", NullBolt()).ShuffleFrom("cheap").ShuffleFrom("dear");
+  auto topo = std::move(b).Build();
+  ASSERT_TRUE(topo.ok());
+  ProfileSet prof;
+  prof.Set("src", OperatorProfile::Simple(100, 64, 64));
+  prof.Set("cheap", OperatorProfile::Simple(200, 64, 64));
+  prof.Set("dear", OperatorProfile::Simple(5000, 64, 64));
+  prof.Set("snk", OperatorProfile::Simple(100, 64, 64));
+  auto plan = ExecutionPlan::CreateDefault(&*topo);
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+  PerfModel model(&m, &prof);
+  auto r = model.Evaluate(*plan, 1e3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->critical_path_ns, 100 + 5000 + 100, 1e-6);
+}
+
+TEST(PerfModelTest, MissingProfileIsAnError) {
+  MachineSpec m = MachineSpec::Symmetric(2, 8, 1.0, 50, 300, 50, 10);
+  Topology topo = Chain2();
+  ProfileSet prof;
+  prof.Set("src", OperatorProfile::Simple(100, 64, 64));
+  auto plan = ExecutionPlan::CreateDefault(&topo);
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+  PerfModel model(&m, &prof);
+  auto r = model.Evaluate(*plan, 1e6);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace brisk::model

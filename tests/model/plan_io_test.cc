@@ -1,0 +1,125 @@
+// Tests for plan / profile (de)serialization.
+#include "model/plan_io.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "model/perf_model.h"
+
+namespace brisk::model {
+namespace {
+
+TEST(PlanIoTest, PlanRoundTrips) {
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::Create(app->topology_ptr.get(), {2, 1, 3, 4, 1});
+  ASSERT_TRUE(plan.ok());
+  for (int i = 0; i < plan->num_instances(); ++i) {
+    plan->SetSocket(i, i % 3);
+  }
+  const std::string text = SerializePlan(*plan);
+  auto parsed = ParsePlan(app->topology_ptr.get(), text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->replication(), plan->replication());
+  for (int i = 0; i < plan->num_instances(); ++i) {
+    EXPECT_EQ(parsed->SocketOf(i), plan->SocketOf(i)) << i;
+  }
+}
+
+TEST(PlanIoTest, UnplacedInstancesSurvive) {
+  auto app = apps::MakeApp(apps::AppId::kSpikeDetection);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());  // all sockets -1
+  auto parsed =
+      ParsePlan(app->topology_ptr.get(), SerializePlan(*plan));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->FullyPlaced());
+}
+
+TEST(PlanIoTest, RejectsCorruptInputs) {
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  const api::Topology* topo = app->topology_ptr.get();
+  EXPECT_FALSE(ParsePlan(topo, "").ok());
+  EXPECT_FALSE(ParsePlan(topo, "wrong header\n").ok());
+  EXPECT_FALSE(
+      ParsePlan(topo, "brisk-plan v1\nop ghost replication 1 sockets 0\n")
+          .ok());
+  // Missing operators.
+  EXPECT_FALSE(
+      ParsePlan(topo, "brisk-plan v1\nop spout replication 1 sockets 0\n")
+          .ok());
+  // Socket count mismatch.
+  auto plan = ExecutionPlan::CreateDefault(topo);
+  ASSERT_TRUE(plan.ok());
+  std::string text = SerializePlan(*plan);
+  text.replace(text.find("replication 1"), 13, "replication 2");
+  EXPECT_FALSE(ParsePlan(topo, text).ok());
+}
+
+TEST(PlanIoTest, RejectsDuplicateOperators) {
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  std::string text = SerializePlan(*plan);
+  text += "op spout replication 1 sockets 0\n";
+  EXPECT_FALSE(ParsePlan(app->topology_ptr.get(), text).ok());
+}
+
+TEST(PlanIoTest, ProfilesRoundTrip) {
+  auto app = apps::MakeApp(apps::AppId::kLinearRoad);
+  ASSERT_TRUE(app.ok());
+  const std::string text = SerializeProfiles(app->profiles);
+  auto parsed = ParseProfiles(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->size(), app->profiles.size());
+  for (const auto& [name, p] : app->profiles.all()) {
+    auto q = parsed->Get(name);
+    ASSERT_TRUE(q.ok()) << name;
+    EXPECT_DOUBLE_EQ(q->te_cycles, p.te_cycles) << name;
+    EXPECT_DOUBLE_EQ(q->m_bytes, p.m_bytes) << name;
+    EXPECT_EQ(q->selectivity.size(), p.selectivity.size()) << name;
+    for (size_t s = 0; s < p.selectivity.size(); ++s) {
+      EXPECT_DOUBLE_EQ(q->selectivity[s], p.selectivity[s]) << name;
+      EXPECT_DOUBLE_EQ(q->output_bytes[s], p.output_bytes[s]) << name;
+    }
+  }
+}
+
+TEST(PlanIoTest, ParsedProfilesDriveTheModel) {
+  // End-to-end: serialized profiles feed an evaluation identically.
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto parsed = ParseProfiles(SerializeProfiles(app->profiles));
+  ASSERT_TRUE(parsed.ok());
+  const hw::MachineSpec m = hw::MachineSpec::ServerB();
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+  PerfModel original(&m, &app->profiles);
+  PerfModel round_tripped(&m, &*parsed);
+  auto a = original.Evaluate(*plan, 1e12);
+  auto b = round_tripped.Evaluate(*plan, 1e12);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->throughput, b->throughput);
+}
+
+TEST(PlanIoTest, ProfileParserRejectsCorruptInputs) {
+  EXPECT_FALSE(ParseProfiles("").ok());
+  EXPECT_FALSE(ParseProfiles("nope\n").ok());
+  EXPECT_FALSE(
+      ParseProfiles("brisk-profiles v1\nstream 0 selectivity 1 bytes 8\n")
+          .ok());
+  EXPECT_FALSE(
+      ParseProfiles("brisk-profiles v1\nop x te abc m 1 streams 1\n").ok());
+  // Declared two streams, listed one.
+  EXPECT_FALSE(ParseProfiles("brisk-profiles v1\n"
+                             "op x te 100 m 1 streams 2\n"
+                             "stream 0 selectivity 1 bytes 8\n")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace brisk::model

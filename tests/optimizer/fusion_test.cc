@@ -1,0 +1,192 @@
+// Tests for operator fusion (Appendix D extension).
+#include "optimizer/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "apps/word_count.h"
+#include "engine/runtime.h"
+#include "model/perf_model.h"
+
+namespace brisk::opt {
+namespace {
+
+using apps::AppId;
+using hw::MachineSpec;
+
+TEST(FusionTest, FindsOnlyLegalCandidates) {
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  const auto candidates = FindFusionCandidates(app->topology());
+  // WC: spout->parser (shuffle, 1:1) and parser->splitter (shuffle,
+  // 1:1) are legal; splitter->counter is fields-grouped (stateful) and
+  // counter->sink is shuffle 1:1.
+  ASSERT_FALSE(candidates.empty());
+  const int splitter = *app->topology().OpId("splitter");
+  const int counter = *app->topology().OpId("counter");
+  for (const auto& c : candidates) {
+    EXPECT_FALSE(c.producer_op == splitter && c.consumer_op == counter)
+        << "fields-grouped edge must not be fusable";
+  }
+  // parser -> splitter must be present.
+  const int parser = *app->topology().OpId("parser");
+  const bool has_parser_splitter =
+      std::any_of(candidates.begin(), candidates.end(), [&](const auto& c) {
+        return c.producer_op == parser && c.consumer_op == splitter;
+      });
+  EXPECT_TRUE(has_parser_splitter);
+}
+
+TEST(FusionTest, MultiConsumerProducerNotFusable) {
+  auto app = apps::MakeApp(AppId::kLinearRoad);
+  ASSERT_TRUE(app.ok());
+  const int dispatcher = *app->topology().OpId("dispatcher");
+  for (const auto& c : FindFusionCandidates(app->topology())) {
+    EXPECT_NE(c.producer_op, dispatcher)
+        << "dispatcher fans out to many consumers";
+  }
+}
+
+TEST(FusionTest, FusedTopologyPreservesStructure) {
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  const int parser = *app->topology().OpId("parser");
+  const int splitter = *app->topology().OpId("splitter");
+  auto fused = FuseOperators(app->topology(), app->profiles,
+                             {parser, splitter});
+  ASSERT_TRUE(fused.ok()) << fused.status();
+  EXPECT_EQ(fused->topology->num_operators(), 4);  // 5 - 1
+  EXPECT_TRUE(fused->topology->OpId("parser+splitter").ok());
+  EXPECT_FALSE(fused->topology->OpId("parser").ok());
+  EXPECT_FALSE(fused->topology->OpId("splitter").ok());
+  // The counter now consumes from the fused operator, still fields.
+  const int counter = *fused->topology->OpId("counter");
+  const auto in = fused->topology->InEdges(counter);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(fused->topology->op(in[0].producer_op).name, "parser+splitter");
+  EXPECT_EQ(in[0].grouping, api::GroupingType::kFields);
+}
+
+TEST(FusionTest, FusedProfileCombinesCosts) {
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  const int parser = *app->topology().OpId("parser");
+  const int splitter = *app->topology().OpId("splitter");
+  auto fused = FuseOperators(app->topology(), app->profiles,
+                             {parser, splitter});
+  ASSERT_TRUE(fused.ok());
+  const auto fp = fused->profiles.Get("parser+splitter");
+  ASSERT_TRUE(fp.ok());
+  const auto pp = app->profiles.Get("parser");
+  const auto sp = app->profiles.Get("splitter");
+  // T_e' = T_e(parser) + sel(parser) * T_e(splitter); parser sel = 1.
+  EXPECT_DOUBLE_EQ(fp->te_cycles, pp->te_cycles + sp->te_cycles);
+  // Combined selectivity: 1 x 10 words per sentence.
+  EXPECT_DOUBLE_EQ(fp->selectivity[0], sp->selectivity[0]);
+}
+
+TEST(FusionTest, RejectsIllegalCandidate) {
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  const int splitter = *app->topology().OpId("splitter");
+  const int counter = *app->topology().OpId("counter");
+  auto fused = FuseOperators(app->topology(), app->profiles,
+                             {splitter, counter});
+  ASSERT_FALSE(fused.ok());
+  EXPECT_TRUE(fused.status().IsFailedPrecondition());
+  EXPECT_FALSE(
+      FuseOperators(app->topology(), app->profiles, {99, 3}).ok());
+}
+
+TEST(FusionTest, FusedTopologyRunsOnEngineWithSameSemantics) {
+  // Fuse parser+splitter and run for real: words still reach the sink
+  // with ~10x expansion.
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  const int parser = *app->topology().OpId("parser");
+  const int splitter = *app->topology().OpId("splitter");
+  auto fused = FuseOperators(app->topology(), app->profiles,
+                             {parser, splitter});
+  ASSERT_TRUE(fused.ok());
+
+  auto plan = model::ExecutionPlan::CreateDefault(fused->topology.get());
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+  auto rt = engine::BriskRuntime::Create(fused->topology.get(), *plan,
+                                         engine::EngineConfig::Brisk());
+  ASSERT_TRUE(rt.ok()) << rt.status();
+  auto stats = (*rt)->RunFor(0.15);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(app->telemetry->count(), 100u);
+  // Fused instance emits ~10 words per input sentence.
+  const auto& fused_stats = stats->tasks[1];  // spout=0, fused=1
+  EXPECT_NEAR(static_cast<double>(fused_stats.tuples_out),
+              10.0 * static_cast<double>(fused_stats.tuples_in),
+              0.05 * static_cast<double>(fused_stats.tuples_out) + 10);
+}
+
+TEST(FusionTest, FusionEliminatesTheInternalEdge) {
+  // Fusing parser+splitter removes the sentence-sized edge between
+  // them: with matching external placements (spout->X local, X's
+  // output crossing sockets, rest unchanged), the fused instance runs
+  // at its pure T_e (no internal fetch) and the parser->splitter link
+  // traffic disappears from the matrix.
+  const MachineSpec m = MachineSpec::Symmetric(2, 4, 1.0, 50, 800, 50, 10);
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  model::PerfModel unfused_model(&m, &app->profiles);
+  auto plan = model::ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  // Force the internal edge across sockets; everything downstream of
+  // the splitter is on S1.
+  plan->SetSocket(0, 0);  // spout
+  plan->SetSocket(1, 0);  // parser
+  plan->SetSocket(2, 1);  // splitter (remote to parser)
+  plan->SetSocket(3, 1);  // counter
+  plan->SetSocket(4, 1);  // sink
+  auto unfused = unfused_model.Evaluate(*plan, 1e12);
+  ASSERT_TRUE(unfused.ok());
+  const double unfused_s0_to_s1 = unfused->link_traffic[0 * 2 + 1];
+  EXPECT_GT(unfused_s0_to_s1, 0.0);
+
+  const int parser = *app->topology().OpId("parser");
+  const int splitter = *app->topology().OpId("splitter");
+  auto fused = FuseOperators(app->topology(), app->profiles,
+                             {parser, splitter});
+  ASSERT_TRUE(fused.ok());
+  model::PerfModel fused_model(&m, &fused->profiles);
+  auto fplan = model::ExecutionPlan::CreateDefault(fused->topology.get());
+  ASSERT_TRUE(fplan.ok());
+  fplan->SetSocket(0, 1);  // spout feeds the fused op remotely now: put
+  fplan->SetSocket(1, 1);  // both on S1 to keep externals comparable
+  fplan->SetSocket(2, 1);  // counter
+  fplan->SetSocket(3, 1);  // sink
+  auto fused_eval = fused_model.Evaluate(*fplan, 1e12);
+  ASSERT_TRUE(fused_eval.ok());
+  // Everything collocated: zero traffic, and the fused instance's T(p)
+  // is exactly its combined T_e — the internal fetch is gone.
+  for (const double t : fused_eval->link_traffic) EXPECT_EQ(t, 0.0);
+  const auto fp = fused->profiles.Get("parser+splitter");
+  ASSERT_TRUE(fp.ok());
+  EXPECT_NEAR(fused_eval->instances[1].t_ns, m.CyclesToNs(fp->te_cycles),
+              1e-9);
+}
+
+TEST(FusionTest, AutoFuseNeverRegresses) {
+  const MachineSpec m = MachineSpec::Symmetric(2, 4, 1.0, 50, 500, 50, 10);
+  auto app = apps::MakeApp(AppId::kSpikeDetection);
+  ASSERT_TRUE(app.ok());
+  RlasOptions options;
+  options.placement.compress_ratio = 2;
+  auto result = AutoFuse(app->topology(), app->profiles, m, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->fused_throughput,
+            result->baseline_throughput * (1 - 1e-9));
+  if (result->fusions_applied > 0) {
+    EXPECT_LT(result->topology->num_operators(),
+              app->topology().num_operators());
+  }
+}
+
+}  // namespace
+}  // namespace brisk::opt

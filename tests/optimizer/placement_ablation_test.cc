@@ -1,0 +1,183 @@
+// Tests for the B&B search heuristics and ablation switches
+// (§4, §6.4, Appendix D).
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "optimizer/placement_bb.h"
+
+namespace brisk::opt {
+namespace {
+
+using apps::AppId;
+using hw::MachineSpec;
+using model::ExecutionPlan;
+using model::PerfModel;
+
+struct Fixture {
+  MachineSpec machine = MachineSpec::ServerA();
+  apps::AppBundle app;
+  ExecutionPlan plan;
+
+  static StatusOr<Fixture> Make(AppId id, std::vector<int> repl) {
+    Fixture f;
+    BRISK_ASSIGN_OR_RETURN(f.app, apps::MakeApp(id));
+    BRISK_ASSIGN_OR_RETURN(
+        f.plan, ExecutionPlan::Create(f.app.topology_ptr.get(), repl));
+    return f;
+  }
+};
+
+TEST(PlacementAblationTest, PruningReducesExploredNodes) {
+  auto f = Fixture::Make(AppId::kWordCount, {2, 2, 4, 6, 2});
+  ASSERT_TRUE(f.ok());
+  PerfModel model(&f->machine, &f->app.profiles);
+
+  // Disable best-fit in both variants so the search actually branches
+  // (best-fit alone collapses WC to a near-chain of single children).
+  PlacementOptions with;
+  with.compress_ratio = 2;
+  with.use_best_fit = false;
+  with.max_seconds = 5.0;
+  PlacementOptions without = with;
+  without.use_pruning = false;
+  without.max_nodes = 20000;
+
+  auto r_with = OptimizePlacement(model, f->plan, with);
+  auto r_without = OptimizePlacement(model, f->plan, without);
+  ASSERT_TRUE(r_with.ok());
+  ASSERT_TRUE(r_without.ok());
+  // Pruning must explore no more nodes and find an equal-or-better
+  // plan within the same budget.
+  EXPECT_LE(r_with->nodes_explored, r_without->nodes_explored);
+  EXPECT_GT(r_with->nodes_pruned, 0u);
+  EXPECT_GE(r_with->model.throughput,
+            r_without->model.throughput * 0.999);
+}
+
+TEST(PlacementAblationTest, BestFitShrinksSearch) {
+  auto f = Fixture::Make(AppId::kWordCount, {2, 2, 4, 6, 2});
+  ASSERT_TRUE(f.ok());
+  PerfModel model(&f->machine, &f->app.profiles);
+
+  PlacementOptions with;
+  with.compress_ratio = 2;
+  PlacementOptions without = with;
+  without.use_best_fit = false;
+  without.max_seconds = 5.0;
+
+  auto r_with = OptimizePlacement(model, f->plan, with);
+  auto r_without = OptimizePlacement(model, f->plan, without);
+  ASSERT_TRUE(r_with.ok());
+  ASSERT_TRUE(r_without.ok()) << r_without.status();
+  EXPECT_LT(r_with->nodes_explored, r_without->nodes_explored);
+}
+
+TEST(PlacementAblationTest, RedundancyEliminationShrinksSearch) {
+  auto f = Fixture::Make(AppId::kSpikeDetection, {1, 2, 4, 2, 1});
+  ASSERT_TRUE(f.ok());
+  PerfModel model(&f->machine, &f->app.profiles);
+
+  PlacementOptions with;
+  with.compress_ratio = 1;
+  with.use_best_fit = false;  // force real branching in both variants
+  with.max_seconds = 5.0;
+  PlacementOptions without = with;
+  without.use_redundancy_elimination = false;
+
+  auto r_with = OptimizePlacement(model, f->plan, with);
+  auto r_without = OptimizePlacement(model, f->plan, without);
+  ASSERT_TRUE(r_with.ok());
+  ASSERT_TRUE(r_without.ok());
+  // Empty-socket symmetry breaking cuts the branching factor on an
+  // 8-socket machine substantially.
+  EXPECT_LT(r_with->nodes_explored, r_without->nodes_explored);
+  // And costs nothing in quality (symmetric sockets are identical).
+  EXPECT_NEAR(r_with->model.throughput, r_without->model.throughput,
+              r_with->model.throughput * 0.01);
+}
+
+TEST(PlacementAblationTest, FirstFitSeedNeverWorsensResult) {
+  auto f = Fixture::Make(AppId::kFraudDetection, {2, 2, 6, 2});
+  ASSERT_TRUE(f.ok());
+  PerfModel model(&f->machine, &f->app.profiles);
+
+  PlacementOptions plain;
+  plain.compress_ratio = 2;
+  PlacementOptions seeded = plain;
+  seeded.seed_with_first_fit = true;
+
+  auto r_plain = OptimizePlacement(model, f->plan, plain);
+  auto r_seeded = OptimizePlacement(model, f->plan, seeded);
+  ASSERT_TRUE(r_plain.ok());
+  ASSERT_TRUE(r_seeded.ok());
+  EXPECT_GE(r_seeded->model.throughput,
+            r_plain->model.throughput * 0.999);
+}
+
+TEST(PlacementAblationTest, CompressionTradesQualityForSpeed) {
+  auto f = Fixture::Make(AppId::kWordCount, {2, 2, 10, 20, 4});
+  ASSERT_TRUE(f.ok());
+  PerfModel model(&f->machine, &f->app.profiles);
+
+  uint64_t prev_nodes = UINT64_MAX;
+  for (const int ratio : {1, 5, 10}) {
+    PlacementOptions opts;
+    opts.compress_ratio = ratio;
+    opts.max_seconds = 5.0;
+    auto r = OptimizePlacement(model, f->plan, opts);
+    ASSERT_TRUE(r.ok()) << "ratio " << ratio;
+    // Coarser grouping => smaller search space explored.
+    EXPECT_LE(r->nodes_explored, prev_nodes) << "ratio " << ratio;
+    prev_nodes = r->nodes_explored;
+  }
+}
+
+TEST(PlacementAblationTest, OversizedCompressionUnitsFailPlacement) {
+  // Appendix D: "a compressed graph contains heavy operators (multiple
+  // operators grouped into one), which may fail to be allocated" — a
+  // 20-replica unit cannot fit Server A's 18-core sockets.
+  auto f = Fixture::Make(AppId::kWordCount, {2, 2, 10, 20, 4});
+  ASSERT_TRUE(f.ok());
+  PerfModel model(&f->machine, &f->app.profiles);
+  PlacementOptions opts;
+  opts.compress_ratio = 20;
+  auto r = OptimizePlacement(model, f->plan, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST(PlacementAblationTest, TimeBudgetReturnsIncumbent) {
+  auto f = Fixture::Make(AppId::kWordCount, {2, 2, 8, 12, 4});
+  ASSERT_TRUE(f.ok());
+  PerfModel model(&f->machine, &f->app.profiles);
+  PlacementOptions opts;
+  opts.compress_ratio = 1;
+  opts.max_seconds = 0.05;  // deliberately tiny
+  auto r = OptimizePlacement(model, f->plan, opts);
+  // Either it finished in time, or it returns a (possibly suboptimal)
+  // valid incumbent with the incomplete flag.
+  if (r.ok()) {
+    EXPECT_TRUE(r->plan.FullyPlaced());
+    EXPECT_TRUE(r->model.feasible());
+  } else {
+    EXPECT_TRUE(r.status().IsResourceExhausted());
+  }
+}
+
+TEST(PlacementAblationTest, NodeBudgetHonored) {
+  auto f = Fixture::Make(AppId::kWordCount, {2, 2, 8, 12, 4});
+  ASSERT_TRUE(f.ok());
+  PerfModel model(&f->machine, &f->app.profiles);
+  PlacementOptions opts;
+  opts.compress_ratio = 1;
+  opts.max_nodes = 500;
+  opts.max_seconds = 30.0;
+  auto r = OptimizePlacement(model, f->plan, opts);
+  if (r.ok()) {
+    EXPECT_LE(r->nodes_explored, 500u + 1);
+    EXPECT_FALSE(r->search_complete);
+  }
+}
+
+}  // namespace
+}  // namespace brisk::opt

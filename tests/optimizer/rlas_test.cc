@@ -1,0 +1,228 @@
+// Integration tests for RLAS: B&B placement (Algorithm 2) and iterative
+// scaling (Algorithm 1), plus the baseline planners.
+#include "optimizer/rlas.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "optimizer/baselines.h"
+
+namespace brisk::opt {
+namespace {
+
+using apps::AppId;
+using hw::MachineSpec;
+using model::ExecutionPlan;
+using model::PerfModel;
+
+TEST(PlacementBbTest, CollocatesChainWhenItFits) {
+  // Two light operators trivially fit one socket; optimal placement
+  // collocates them (no RMA).
+  MachineSpec m = MachineSpec::Symmetric(4, 8, 1.0, 50, 500, 50, 10);
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+
+  PerfModel model(&m, &app->profiles);
+  PlacementOptions opts;
+  opts.compress_ratio = 1;
+  auto result = OptimizePlacement(model, *plan, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->plan.FullyPlaced());
+  EXPECT_TRUE(result->model.feasible());
+  // All five instances fit one socket: no cross-socket traffic at all.
+  double cross = 0.0;
+  for (const double t : result->model.link_traffic) cross += t;
+  EXPECT_EQ(cross, 0.0);
+}
+
+TEST(PlacementBbTest, SplitsWhenCoreConstraintForcesIt) {
+  // Two cores per socket but five operators: placement must span
+  // sockets yet stay feasible.
+  MachineSpec m = MachineSpec::Symmetric(4, 2, 1.0, 50, 500, 50, 10);
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+
+  PerfModel model(&m, &app->profiles);
+  PlacementOptions opts;
+  opts.compress_ratio = 1;
+  auto result = OptimizePlacement(model, *plan, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->model.feasible());
+  for (int s = 0; s < m.num_sockets(); ++s) {
+    EXPECT_LE(result->plan.InstancesOnSocket(s), 2);
+  }
+}
+
+TEST(PlacementBbTest, InfeasibleWhenMoreInstancesThanCores) {
+  MachineSpec m = MachineSpec::Symmetric(1, 2, 1.0, 50, 500, 50, 10);
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());  // 5 instances
+  ASSERT_TRUE(plan.ok());
+  PerfModel model(&m, &app->profiles);
+  auto result = OptimizePlacement(model, *plan, PlacementOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+}
+
+TEST(PlacementBbTest, BeatsOrMatchesBaselinesOnWordCount) {
+  MachineSpec m = MachineSpec::ServerA();
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  // Fixed replication so only placement differs (the Fig. 13 setup).
+  auto plan = ExecutionPlan::Create(app->topology_ptr.get(), {2, 2, 6, 8, 2});
+  ASSERT_TRUE(plan.ok());
+
+  PerfModel model(&m, &app->profiles);
+  PlacementOptions opts;
+  opts.compress_ratio = 2;
+  auto rlas = OptimizePlacement(model, *plan, opts);
+  ASSERT_TRUE(rlas.ok()) << rlas.status();
+
+  auto eval = [&](const ExecutionPlan& p) {
+    auto r = model.Evaluate(p, opts.input_rate_tps);
+    EXPECT_TRUE(r.ok());
+    return r->throughput;
+  };
+
+  auto rr = PlaceRoundRobin(m, *plan);
+  ASSERT_TRUE(rr.ok());
+  auto os = PlaceOsDefault(m, *plan);
+  ASSERT_TRUE(os.ok());
+  auto ff = PlaceFirstFit(model, *plan, opts.input_rate_tps);
+  ASSERT_TRUE(ff.ok());
+
+  const double rlas_tput = rlas->model.throughput;
+  EXPECT_GE(rlas_tput, eval(*rr) - 1e-6);
+  EXPECT_GE(rlas_tput, eval(*os) - 1e-6);
+  EXPECT_GE(rlas_tput, eval(*ff) - 1e-6);
+}
+
+TEST(RlasTest, ScalingGrowsBottleneckOperators) {
+  MachineSpec m = MachineSpec::Symmetric(2, 8, 1.0, 50, 300, 50, 10);
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+
+  RlasOptions options;
+  options.placement.compress_ratio = 1;
+  RlasOptimizer optimizer(&m, &app->profiles, options);
+  auto result = optimizer.Optimize(app->topology());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->scaling_iterations, 2);
+  // The splitter (heaviest per sentence) must end up replicated.
+  auto splitter = app->topology().OpId("splitter");
+  ASSERT_TRUE(splitter.ok());
+  EXPECT_GT(result->plan.replication(*splitter), 1);
+  // Total replicas never exceed the core budget.
+  EXPECT_LE(result->plan.num_instances(), m.total_cores());
+  EXPECT_TRUE(result->model.feasible());
+}
+
+TEST(RlasTest, ThroughputImprovesWithMoreSockets) {
+  auto app = apps::MakeApp(AppId::kFraudDetection);
+  ASSERT_TRUE(app.ok());
+  MachineSpec full = MachineSpec::ServerB();
+
+  double prev = 0.0;
+  for (const int sockets : {1, 2, 4}) {
+    auto m = full.Truncated(sockets);
+    ASSERT_TRUE(m.ok());
+    RlasOptions options;
+    options.placement.compress_ratio = 4;
+    RlasOptimizer optimizer(&*m, &app->profiles, options);
+    auto result = optimizer.Optimize(app->topology());
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GE(result->model.throughput, prev * 0.999);
+    prev = result->model.throughput;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(RlasTest, FixedModeAblationsOrderAsInPaper) {
+  // Fig. 12: optimizing under fix(U) (ignore RMA) or fix(L) (assume
+  // worst-case RMA) must not beat RLAS when all three plans are
+  // re-evaluated under the true relative-location model.
+  MachineSpec m = MachineSpec::ServerA();
+  auto app = apps::MakeApp(AppId::kSpikeDetection);
+  ASSERT_TRUE(app.ok());
+
+  RlasOptions options;
+  options.placement.compress_ratio = 4;
+  options.max_total_replicas = 48;
+
+  RlasOptimizer rlas(&m, &app->profiles, options);
+  auto r = rlas.Optimize(app->topology());
+  ASSERT_TRUE(r.ok()) << r.status();
+
+  auto fix_u = OptimizeRlasFixed(m, app->profiles, app->topology(),
+                                 model::FetchCostMode::kAlwaysLocal, options);
+  ASSERT_TRUE(fix_u.ok()) << fix_u.status();
+  auto fix_l = OptimizeRlasFixed(m, app->profiles, app->topology(),
+                                 model::FetchCostMode::kAlwaysRemote,
+                                 options);
+  ASSERT_TRUE(fix_l.ok()) << fix_l.status();
+
+  PerfModel true_model(&m, &app->profiles);
+  auto true_eval = [&](const ExecutionPlan& p) {
+    auto e = true_model.Evaluate(p, 1e12);
+    EXPECT_TRUE(e.ok());
+    return e->throughput;
+  };
+  const double v_rlas = true_eval(r->plan);
+  EXPECT_GE(v_rlas, true_eval(fix_l->plan) - 1e-6);
+  // fix(U) may luck into a good plan on symmetric cases but must never
+  // exceed RLAS by more than noise.
+  EXPECT_GE(v_rlas * 1.0001, true_eval(fix_u->plan));
+}
+
+TEST(BaselinesTest, RandomPlanRespectsBudgetAndPlacesEverything) {
+  MachineSpec m = MachineSpec::ServerB();
+  auto app = apps::MakeApp(AppId::kLinearRoad);
+  ASSERT_TRUE(app.ok());
+  Rng rng(7);
+  auto plan = RandomPlan(app->topology(), m, &rng, 40);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->FullyPlaced());
+  EXPECT_EQ(plan->num_instances(), 40);
+  for (int s = 0; s < m.num_sockets(); ++s) {
+    EXPECT_LE(plan->InstancesOnSocket(s), m.cores_per_socket());
+  }
+}
+
+TEST(BaselinesTest, RoundRobinSpreadsInstances) {
+  MachineSpec m = MachineSpec::Symmetric(4, 8, 1.0, 50, 300, 50, 10);
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto plan = model::ExecutionPlan::Create(app->topology_ptr.get(), {1, 1, 1, 1, 1});
+  ASSERT_TRUE(plan.ok());
+  auto rr = PlaceRoundRobin(m, *plan);
+  ASSERT_TRUE(rr.ok());
+  // 5 instances over 4 sockets: sockets 0..3 get one, socket 0 a second.
+  EXPECT_EQ(rr->InstancesOnSocket(0), 2);
+  EXPECT_EQ(rr->InstancesOnSocket(1), 1);
+  EXPECT_EQ(rr->InstancesOnSocket(3), 1);
+}
+
+TEST(CompressedGraphTest, RatioControlsUnitCount) {
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto plan = model::ExecutionPlan::Create(app->topology_ptr.get(), {2, 2, 10, 10, 1});
+  ASSERT_TRUE(plan.ok());
+  const auto g1 = CompressedGraph::Build(*plan, 1);
+  EXPECT_EQ(g1.num_units(), 25);
+  const auto g5 = CompressedGraph::Build(*plan, 5);
+  EXPECT_EQ(g5.num_units(), 1 + 1 + 2 + 2 + 1);  // ceil(repl / 5) each
+  const auto g100 = CompressedGraph::Build(*plan, 100);
+  EXPECT_EQ(g100.num_units(), 5);
+  // Decisions only pair directly connected units.
+  for (const auto& d : g5.decisions()) {
+    EXPECT_NE(g5.units()[d.producer_unit].op, g5.units()[d.consumer_unit].op);
+  }
+}
+
+}  // namespace
+}  // namespace brisk::opt

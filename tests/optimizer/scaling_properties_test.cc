@@ -1,0 +1,96 @@
+// Property tests of Algorithm 1 (iterative scaling) invariants, swept
+// across applications.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "optimizer/rlas.h"
+
+namespace brisk::opt {
+namespace {
+
+using apps::AppId;
+using hw::MachineSpec;
+
+class ScalingPropertyTest : public ::testing::TestWithParam<AppId> {
+ protected:
+  StatusOr<RlasResult> Run(const MachineSpec& m, RlasOptions options = {}) {
+    auto app = apps::MakeApp(GetParam());
+    if (!app.ok()) return app.status();
+    bundle_ = std::move(app).value();
+    options.placement.compress_ratio = 4;
+    RlasOptimizer optimizer(&m, &bundle_.profiles, options);
+    return optimizer.Optimize(bundle_.topology());
+  }
+
+  apps::AppBundle bundle_;
+};
+
+TEST_P(ScalingPropertyTest, PlanIsAlwaysValidAndPlaced) {
+  const MachineSpec m = MachineSpec::ServerB();
+  auto r = Run(m);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->plan.FullyPlaced());
+  EXPECT_TRUE(r->model.feasible());
+  for (int s = 0; s < m.num_sockets(); ++s) {
+    EXPECT_LE(r->plan.InstancesOnSocket(s), m.cores_per_socket());
+  }
+  EXPECT_LE(r->plan.num_instances(), m.total_cores());
+  EXPECT_GT(r->model.throughput, 0.0);
+}
+
+TEST_P(ScalingPropertyTest, ReplicaBudgetRespected) {
+  const MachineSpec m = MachineSpec::ServerB();
+  RlasOptions options;
+  options.max_total_replicas = 20;
+  auto r = Run(m, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_LE(r->plan.num_instances(), 20);
+}
+
+TEST_P(ScalingPropertyTest, LargerBudgetNeverHurts) {
+  const MachineSpec m = MachineSpec::ServerB();
+  RlasOptions small, large;
+  small.max_total_replicas = 16;
+  large.max_total_replicas = 48;
+  auto r_small = Run(m, small);
+  auto r_large = Run(m, large);
+  ASSERT_TRUE(r_small.ok() && r_large.ok());
+  // The larger budget subsumes the smaller search space; allow 2% for
+  // heuristic tie-break noise.
+  EXPECT_GE(r_large->model.throughput,
+            r_small->model.throughput * 0.98);
+}
+
+TEST_P(ScalingPropertyTest, WarmStartConverges) {
+  // Appendix D: starting from a larger initial DAG cuts iterations and
+  // must not invalidate the result.
+  const MachineSpec m = MachineSpec::ServerB();
+  auto cold = Run(m);
+  ASSERT_TRUE(cold.ok());
+
+  RlasOptions warm_options;
+  warm_options.initial_replication = cold->plan.replication();
+  auto warm = Run(m, warm_options);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_LE(warm->scaling_iterations, cold->scaling_iterations);
+  EXPECT_TRUE(warm->model.feasible());
+  EXPECT_GE(warm->model.throughput, cold->model.throughput * 0.98);
+}
+
+TEST_P(ScalingPropertyTest, EveryOperatorKeepsAtLeastOneReplica) {
+  const MachineSpec m = MachineSpec::ServerA();
+  auto r = Run(m);
+  ASSERT_TRUE(r.ok());
+  for (const auto& op : bundle_.topology().ops()) {
+    EXPECT_GE(r->plan.replication(op.id), 1) << op.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, ScalingPropertyTest,
+                         ::testing::ValuesIn(apps::kAllApps),
+                         [](const auto& info) {
+                           return apps::AppName(info.param);
+                         });
+
+}  // namespace
+}  // namespace brisk::opt

@@ -1,0 +1,114 @@
+// Tests for the operator profiling harness (§3.1 methodology).
+#include "profiler/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "apps/word_count.h"
+
+namespace brisk::profiler {
+namespace {
+
+TEST(ProfilerTest, ProfilesEveryWordCountOperator) {
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  ProfilerConfig cfg;
+  cfg.samples = 2000;
+  cfg.warmup_samples = 200;
+  auto result = ProfileApp(app->topology(), cfg);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->measurements.size(), 5u);
+  for (const auto& op : app->topology().ops()) {
+    ASSERT_TRUE(result->profiles.Has(op.name)) << op.name;
+    const auto& m = result->measurements.at(op.name);
+    EXPECT_GT(m.tuples_processed, 0u) << op.name;
+    EXPECT_GT(m.te_cycles.count(), 0u) << op.name;
+  }
+}
+
+TEST(ProfilerTest, MeasuredSelectivityMatchesSemantics) {
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  ProfilerConfig cfg;
+  cfg.samples = 3000;
+  auto result = ProfileApp(app->topology(), cfg);
+  ASSERT_TRUE(result.ok());
+  // Splitter emits ~10 words per sentence (§2.2).
+  EXPECT_NEAR(result->measurements.at("splitter").selectivity[0], 10.0,
+              0.2);
+  // Parser and counter are selectivity one.
+  EXPECT_NEAR(result->measurements.at("parser").selectivity[0], 1.0, 0.01);
+  EXPECT_NEAR(result->measurements.at("counter").selectivity[0], 1.0, 0.01);
+  // Sink emits nothing.
+  EXPECT_DOUBLE_EQ(result->measurements.at("sink").selectivity[0], 0.0);
+}
+
+TEST(ProfilerTest, HeavierOperatorsMeasureHigherTe) {
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  ProfilerConfig cfg;
+  cfg.samples = 4000;
+  auto result = ProfileApp(app->topology(), cfg);
+  ASSERT_TRUE(result.ok());
+  // The splitter (substr per word) must cost more than the sink.
+  EXPECT_GT(result->profiles.Get("splitter")->te_cycles,
+            result->profiles.Get("sink")->te_cycles);
+}
+
+TEST(ProfilerTest, OutputBytesReflectTupleSizes) {
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  ProfilerConfig cfg;
+  cfg.samples = 1500;
+  auto result = ProfileApp(app->topology(), cfg);
+  ASSERT_TRUE(result.ok());
+  // Sentences are much bigger than words.
+  EXPECT_GT(result->measurements.at("spout").output_bytes[0],
+            result->measurements.at("splitter").output_bytes[0]);
+}
+
+TEST(ProfilerTest, PercentileKnobSelectsFromDistribution) {
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  ProfilerConfig low, high;
+  low.samples = high.samples = 1500;
+  low.te_percentile = 0.10;
+  high.te_percentile = 0.95;
+  auto r_low = ProfileApp(app->topology(), low);
+  auto r_high = ProfileApp(app->topology(), high);
+  ASSERT_TRUE(r_low.ok() && r_high.ok());
+  // A higher percentile is a more pessimistic (larger) estimate (§3.1).
+  EXPECT_LE(r_low->profiles.Get("splitter")->te_cycles,
+            r_high->profiles.Get("splitter")->te_cycles);
+}
+
+TEST(ProfilerTest, RejectsBadConfig) {
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  ProfilerConfig cfg;
+  cfg.samples = 0;
+  EXPECT_FALSE(ProfileApp(app->topology(), cfg).ok());
+  cfg.samples = 100;
+  cfg.reference_ghz = 0.0;
+  EXPECT_FALSE(ProfileApp(app->topology(), cfg).ok());
+}
+
+TEST(ProfilerTest, WorksOnAllFourApps) {
+  for (const auto id : apps::kAllApps) {
+    auto app = apps::MakeApp(id);
+    ASSERT_TRUE(app.ok());
+    ProfilerConfig cfg;
+    cfg.samples = 1200;
+    cfg.warmup_samples = 100;
+    auto result = ProfileApp(app->topology(), cfg);
+    ASSERT_TRUE(result.ok())
+        << apps::AppName(id) << ": " << result.status();
+    // Every reachable operator got a profile entry.
+    EXPECT_EQ(result->profiles.size(),
+              static_cast<size_t>(app->topology().num_operators()))
+        << apps::AppName(id);
+  }
+}
+
+}  // namespace
+}  // namespace brisk::profiler

@@ -1,0 +1,115 @@
+// Cross-validation of the simulator against the analytical model
+// (the Table 4 relationship), swept across apps and placements.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "model/perf_model.h"
+#include "optimizer/rlas.h"
+#include "sim/simulator.h"
+
+namespace brisk::sim {
+namespace {
+
+using apps::AppId;
+using hw::MachineSpec;
+using model::ExecutionPlan;
+
+class SimModelConsistencyTest : public ::testing::TestWithParam<AppId> {};
+
+TEST_P(SimModelConsistencyTest, SingleSocketPlanWithinModelEnvelope) {
+  const MachineSpec m = MachineSpec::Symmetric(1, 16, 1.2, 50, 300, 50, 10);
+  auto app = apps::MakeApp(GetParam());
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+
+  model::PerfModel pm(&m, &app->profiles);
+  auto est = pm.Evaluate(*plan, 1e12);
+  ASSERT_TRUE(est.ok());
+
+  SimConfig cfg;
+  cfg.duration_s = 0.05;
+  auto meas = Simulate(m, app->profiles, *plan, cfg);
+  ASSERT_TRUE(meas.ok()) << meas.status();
+
+  // Collocated single-socket plans have no RMA, so the only gap is
+  // queueing/batching: the simulator must land within a third of the
+  // analytical rate, below-or-near it.
+  EXPECT_GT(meas->throughput_tps, est->throughput * 0.66)
+      << apps::AppName(GetParam());
+  EXPECT_LT(meas->throughput_tps, est->throughput * 1.10)
+      << apps::AppName(GetParam());
+}
+
+TEST_P(SimModelConsistencyTest, RlasPlanSimTracksModelOnServerA) {
+  const MachineSpec m = MachineSpec::ServerA();
+  auto app = apps::MakeApp(GetParam());
+  ASSERT_TRUE(app.ok());
+  opt::RlasOptions options;
+  options.placement.compress_ratio = 5;
+  opt::RlasOptimizer optimizer(&m, &app->profiles, options);
+  auto rlas = optimizer.Optimize(app->topology());
+  ASSERT_TRUE(rlas.ok()) << rlas.status();
+
+  SimConfig cfg;
+  cfg.duration_s = 0.04;
+  cfg.warmup_s = 0.01;
+  auto meas = Simulate(m, app->profiles, rlas->plan, cfg);
+  ASSERT_TRUE(meas.ok()) << meas.status();
+  const double rel_error =
+      std::abs(meas->throughput_tps - rlas->model.throughput) /
+      meas->throughput_tps;
+  // Table 4's envelope: the paper reports 2-14%; allow slack for the
+  // simulator's batching artifacts.
+  EXPECT_LT(rel_error, 0.35) << apps::AppName(GetParam());
+}
+
+TEST_P(SimModelConsistencyTest, ZeroFetchSimBeatsOrMatchesNormalSim) {
+  const MachineSpec m = MachineSpec::ServerA();
+  auto app = apps::MakeApp(GetParam());
+  ASSERT_TRUE(app.ok());
+  // Spread placement so RMA actually matters.
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  for (int i = 0; i < plan->num_instances(); ++i) {
+    plan->SetSocket(i, i % m.num_sockets());
+  }
+  SimConfig cfg;
+  cfg.duration_s = 0.04;
+  auto normal = Simulate(m, app->profiles, *plan, cfg);
+  cfg.zero_fetch = true;
+  auto zero = Simulate(m, app->profiles, *plan, cfg);
+  ASSERT_TRUE(normal.ok());
+  ASSERT_TRUE(zero.ok());
+  EXPECT_GE(zero->throughput_tps, normal->throughput_tps * 0.98)
+      << apps::AppName(GetParam());
+}
+
+TEST_P(SimModelConsistencyTest, LegacyProfilesSimulateSlower) {
+  const MachineSpec m = MachineSpec::Symmetric(1, 16, 1.2, 50, 300, 50, 10);
+  auto app = apps::MakeApp(GetParam());
+  ASSERT_TRUE(app.ok());
+  auto storm = apps::ProfilesFor(GetParam(), apps::SystemKind::kStormLike);
+  ASSERT_TRUE(storm.ok());
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+  SimConfig cfg;
+  cfg.duration_s = 0.04;
+  auto brisk_run = Simulate(m, app->profiles, *plan, cfg);
+  auto storm_run = Simulate(m, *storm, *plan, cfg);
+  ASSERT_TRUE(brisk_run.ok());
+  ASSERT_TRUE(storm_run.ok());
+  EXPECT_GT(brisk_run->throughput_tps, storm_run->throughput_tps)
+      << apps::AppName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, SimModelConsistencyTest,
+                         ::testing::ValuesIn(apps::kAllApps),
+                         [](const auto& info) {
+                           return apps::AppName(info.param);
+                         });
+
+}  // namespace
+}  // namespace brisk::sim

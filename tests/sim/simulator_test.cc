@@ -1,0 +1,155 @@
+// Tests for the discrete-event simulator.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "model/perf_model.h"
+#include "optimizer/rlas.h"
+
+namespace brisk::sim {
+namespace {
+
+using apps::AppId;
+using hw::MachineSpec;
+using model::ExecutionPlan;
+
+TEST(SimulatorTest, RequiresPlacedPlan) {
+  MachineSpec m = MachineSpec::Symmetric(2, 8, 1.0, 50, 300, 50, 10);
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  auto r = Simulate(m, app->profiles, *plan);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SimulatorTest, SaturatedThroughputTracksModelEstimate) {
+  MachineSpec m = MachineSpec::Symmetric(1, 8, 1.0, 50, 300, 50, 10);
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+
+  model::PerfModel pm(&m, &app->profiles);
+  auto est = pm.Evaluate(*plan, 1e12);
+  ASSERT_TRUE(est.ok());
+
+  SimConfig cfg;
+  cfg.duration_s = 0.1;
+  auto meas = Simulate(m, app->profiles, *plan, cfg);
+  ASSERT_TRUE(meas.ok()) << meas.status();
+
+  // Measured should be within ~25% of the analytical estimate (the
+  // simulator adds queueing/batching effects, Table 4's gap).
+  EXPECT_GT(meas->throughput_tps, est->throughput * 0.75);
+  EXPECT_LT(meas->throughput_tps, est->throughput * 1.25);
+}
+
+TEST(SimulatorTest, RateLimitedInputCapsThroughput) {
+  MachineSpec m = MachineSpec::Symmetric(1, 8, 1.0, 50, 300, 50, 10);
+  auto app = apps::MakeApp(AppId::kFraudDetection);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+
+  SimConfig cfg;
+  cfg.duration_s = 0.1;
+  cfg.input_rate_tps = 20000;  // far below capacity
+  auto r = Simulate(m, app->profiles, *plan, cfg);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NEAR(r->throughput_tps, 20000, 3000);
+}
+
+TEST(SimulatorTest, RemotePlacementReducesThroughputAndShowsTraffic) {
+  MachineSpec m = MachineSpec::Symmetric(2, 4, 1.0, 50, 500, 50, 10);
+  auto app = apps::MakeApp(AppId::kSpikeDetection);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+
+  SimConfig cfg;
+  cfg.duration_s = 0.05;
+
+  plan->PlaceAllOn(0);
+  auto local = Simulate(m, app->profiles, *plan, cfg);
+  ASSERT_TRUE(local.ok());
+
+  // Anti-collocate: alternate sockets down the chain.
+  for (int i = 0; i < plan->num_instances(); ++i) {
+    plan->SetSocket(i, i % 2);
+  }
+  auto remote = Simulate(m, app->profiles, *plan, cfg);
+  ASSERT_TRUE(remote.ok());
+
+  EXPECT_LT(remote->throughput_tps, local->throughput_tps);
+  double local_traffic = 0.0, remote_traffic = 0.0;
+  for (const double t : local->link_traffic_bps) local_traffic += t;
+  for (const double t : remote->link_traffic_bps) remote_traffic += t;
+  EXPECT_EQ(local_traffic, 0.0);
+  EXPECT_GT(remote_traffic, 0.0);
+}
+
+TEST(SimulatorTest, LatencyRecordedAtSinks) {
+  MachineSpec m = MachineSpec::Symmetric(1, 8, 1.0, 50, 300, 50, 10);
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+  auto r = Simulate(m, app->profiles, *plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->latency_ns.count(), 0u);
+  EXPECT_GT(r->latency_ns.Percentile(0.99), r->latency_ns.Percentile(0.5));
+}
+
+TEST(SimulatorTest, BackpressureBlocksUpstream) {
+  // Slow sink (huge T_e) behind a fast spout: the spout must spend
+  // most of its time blocked, not produce unboundedly.
+  api::TopologyBuilder b("bp");
+  b.AddSpout("src", [] { return std::unique_ptr<api::Spout>(); });
+  b.AddBolt("snk", [] { return std::unique_ptr<api::Operator>(); })
+      .ShuffleFrom("src");
+  auto topo = std::move(b).Build();
+  ASSERT_TRUE(topo.ok());
+
+  model::ProfileSet prof;
+  prof.Set("src", model::OperatorProfile::Simple(100, 64, 64));
+  prof.Set("snk", model::OperatorProfile::Simple(10000, 64, 64));
+  MachineSpec m = MachineSpec::Symmetric(1, 2, 1.0, 50, 300, 50, 10);
+  auto plan = model::ExecutionPlan::CreateDefault(&*topo);
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+
+  SimConfig cfg;
+  cfg.duration_s = 0.05;
+  auto r = Simulate(m, prof, *plan, cfg);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Sink capacity = 1e9/10000 = 100 k/s.
+  EXPECT_NEAR(r->throughput_tps, 1e5, 2e4);
+  EXPECT_GT(r->instances[0].blocked_ns, 0.0);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  MachineSpec m = MachineSpec::ServerB();
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::Create(app->topology_ptr.get(), {1, 1, 2, 2, 1});
+  ASSERT_TRUE(plan.ok());
+  for (int i = 0; i < plan->num_instances(); ++i) {
+    plan->SetSocket(i, i % 2);
+  }
+  SimConfig cfg;
+  cfg.duration_s = 0.05;
+  auto a = Simulate(m, app->profiles, *plan, cfg);
+  auto b2 = Simulate(m, app->profiles, *plan, cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(a->throughput_tps, b2->throughput_tps);
+  EXPECT_EQ(a->events, b2->events);
+}
+
+}  // namespace
+}  // namespace brisk::sim
