@@ -27,7 +27,7 @@ void BM_SpscQueuePushPop(benchmark::State& state) {
   int64_t v = 0;
   for (auto _ : state) {
     q.TryPush(v + 1);
-    int64_t out;
+    int64_t out = 0;
     q.TryPop(&out);
     benchmark::DoNotOptimize(out);
   }

@@ -8,9 +8,23 @@
 // one machine.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 
 namespace brisk::engine {
+
+/// Spout token-bucket burst capacity, shared by the real engine
+/// (Task::RunSpout) and the simulator so the model never drifts from
+/// the runtime it predicts: enough headroom to recover the budget
+/// accrued across a scheduler stall (tens of ms on a loaded host),
+/// never less than a few batches.
+inline constexpr double kSpoutBurstBatches = 4.0;
+inline constexpr double kSpoutBurstHeadroomSec = 0.1;
+
+inline double SpoutBurstCap(int batch_size, double rate_tps) {
+  return std::max(kSpoutBurstBatches * batch_size,
+                  kSpoutBurstHeadroomSec * rate_tps);
+}
 
 struct EngineConfig {
   /// Tuples per jumbo tuple (§5.2); 1 disables batching.

@@ -1,5 +1,6 @@
 #include "engine/task.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -194,13 +195,18 @@ void Task::Consume(Envelope env) {
 
 void Task::RunSpout(const std::atomic<bool>* stop) {
   last_refill_ns_ = NowNs();
+  // Burst capacity must cover a scheduler stall, or budget accrued
+  // while descheduled is discarded and the spout can never catch back
+  // up to the target rate.
+  const double burst_cap =
+      SpoutBurstCap(config_.batch_size, rate_per_instance_);
   while (!stop->load(std::memory_order_relaxed)) {
     if (rate_per_instance_ > 0.0) {
       const int64_t now = NowNs();
       tokens_ += static_cast<double>(now - last_refill_ns_) * 1e-9 *
                  rate_per_instance_;
       last_refill_ns_ = now;
-      tokens_ = std::min(tokens_, 4.0 * config_.batch_size);
+      tokens_ = std::min(tokens_, burst_cap);
       if (tokens_ < config_.batch_size) {
         FlushAll(true);
         CpuRelax();

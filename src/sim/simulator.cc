@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "common/logging.h"
+#include "engine/config.h"
 
 namespace brisk::sim {
 
@@ -375,7 +376,10 @@ void SimEngine::TryWork(int inst, double now) {
       in.spout_tokens += (now - in.spout_last_refill_ns) / kNsPerSec *
                          spout_rate_per_instance_;
       in.spout_last_refill_ns = now;
-      in.spout_tokens = std::min(in.spout_tokens, 4.0 * cfg_.batch_size);
+      in.spout_tokens =
+          std::min(in.spout_tokens,
+                   engine::SpoutBurstCap(cfg_.batch_size,
+                                         spout_rate_per_instance_));
       if (in.spout_tokens < batch) {
         const double wait_s =
             (batch - in.spout_tokens) / spout_rate_per_instance_;

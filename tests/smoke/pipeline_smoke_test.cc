@@ -1,0 +1,68 @@
+// Tier-1 smoke test: the full paper pipeline, end to end, once.
+//
+// MakeApp(kWordCount) -> ProfileApp -> RlasOptimizer::Optimize ->
+// BriskRuntime Create/Start/Stop with NUMA emulation, asserting the
+// sink observed real traffic. This is the one test that touches every
+// layer (apps, profiler, model, optimizer, engine, hardware) and fails
+// loudly if any seam between them breaks.
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "engine/runtime.h"
+#include "hardware/machine_spec.h"
+#include "hardware/numa_emulator.h"
+#include "optimizer/rlas.h"
+#include "profiler/profiler.h"
+
+namespace brisk {
+namespace {
+
+TEST(PipelineSmokeTest, WordCountProfilesOptimizesAndRuns) {
+  // 1. Application.
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  ASSERT_TRUE(app.ok()) << app.status();
+
+  // 2. Profile every operator (reduced sample count: this is a smoke
+  // test, not a calibration run).
+  profiler::ProfilerConfig pcfg;
+  pcfg.samples = 2000;
+  pcfg.warmup_samples = 200;
+  auto profile = profiler::ProfileApp(app->topology(), pcfg);
+  ASSERT_TRUE(profile.ok()) << profile.status();
+
+  // 3. RLAS replication + placement on a small symmetric machine, so
+  // the optimized plan stays runnable on a CI-sized host.
+  const hw::MachineSpec machine =
+      hw::MachineSpec::Symmetric(2, 4, 2.0, 100, 300, 40, 12);
+  opt::RlasOptimizer optimizer(&machine, &profile->profiles);
+  auto result = optimizer.Optimize(app->topology());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->model.throughput, 0.0);
+  EXPECT_GE(result->scaling_iterations, 1);
+
+  // 4. Deploy the optimized plan on the real engine with the NUMA
+  // emulator charging cross-socket fetches.
+  const hw::NumaEmulator numa(machine);
+  engine::EngineConfig ecfg = engine::EngineConfig::Brisk();
+  ecfg.numa_emulation = true;
+  ecfg.spout_rate_tps = 20000;  // bounded load for CI machines
+  auto rt = engine::BriskRuntime::Create(app->topology_ptr.get(),
+                                         result->plan, ecfg, &numa);
+  ASSERT_TRUE(rt.ok()) << rt.status();
+  ASSERT_EQ((*rt)->num_tasks(), result->plan.num_instances());
+
+  ASSERT_TRUE((*rt)->Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const engine::RunStats stats = (*rt)->Stop();
+
+  // 5. The run produced real telemetry at the sink.
+  EXPECT_GT(stats.duration_s, 0.0);
+  EXPECT_GT(stats.total_emitted, 0u);
+  EXPECT_GT(app->telemetry->count(), 0u);
+}
+
+}  // namespace
+}  // namespace brisk
