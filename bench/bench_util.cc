@@ -118,4 +118,77 @@ void Banner(const std::string& experiment, const std::string& what) {
   std::printf("\n=== %s — %s ===\n", experiment.c_str(), what.c_str());
 }
 
+namespace {
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+JsonObj& JsonObj::AddRaw(const std::string& key, std::string raw) {
+  items_.emplace_back(key, std::move(raw));
+  return *this;
+}
+
+JsonObj& JsonObj::Add(const std::string& key, const std::string& v) {
+  return AddRaw(key, JsonQuote(v));
+}
+
+JsonObj& JsonObj::Add(const std::string& key, const char* v) {
+  return AddRaw(key, JsonQuote(v));
+}
+
+JsonObj& JsonObj::Add(const std::string& key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return AddRaw(key, buf);
+}
+
+JsonObj& JsonObj::Add(const std::string& key, uint64_t v) {
+  return AddRaw(key, std::to_string(v));
+}
+
+JsonObj& JsonObj::Add(const std::string& key, int v) {
+  return AddRaw(key, std::to_string(v));
+}
+
+JsonObj& JsonObj::Add(const std::string& key, bool v) {
+  return AddRaw(key, v ? "true" : "false");
+}
+
+JsonObj& JsonObj::Add(const std::string& key, const JsonObj& v) {
+  return AddRaw(key, v.Str(/*indent=*/1));
+}
+
+std::string JsonObj::Str(int indent) const {
+  const std::string pad(static_cast<size_t>(indent + 1) * 2, ' ');
+  const std::string close_pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = "{";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    out += i ? ",\n" : "\n";
+    out += pad + JsonQuote(items_[i].first) + ": " + items_[i].second;
+  }
+  out += "\n" + close_pad + "}";
+  return out;
+}
+
+bool WriteJsonFile(const std::string& path, const JsonObj& obj) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string body = obj.Str();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
+  return ok;
+}
+
 }  // namespace brisk::bench

@@ -69,4 +69,30 @@ void PrintRow(const std::vector<std::string>& cells,
 /// Prints the standard bench banner (experiment id + description).
 void Banner(const std::string& experiment, const std::string& what);
 
+/// Minimal ordered JSON writer for the machine-readable `BENCH_*.json`
+/// files benches emit next to their human-readable tables (insertion
+/// order preserved; no escaping beyond quotes/backslashes — bench keys
+/// and values are plain identifiers and numbers).
+class JsonObj {
+ public:
+  JsonObj& Add(const std::string& key, const std::string& v);
+  JsonObj& Add(const std::string& key, const char* v);
+  JsonObj& Add(const std::string& key, double v);
+  JsonObj& Add(const std::string& key, uint64_t v);
+  JsonObj& Add(const std::string& key, int v);
+  JsonObj& Add(const std::string& key, bool v);
+  JsonObj& Add(const std::string& key, const JsonObj& v);  ///< nested object
+
+  /// Serializes as a pretty-printed object at the given indent depth.
+  std::string Str(int indent = 0) const;
+
+ private:
+  JsonObj& AddRaw(const std::string& key, std::string raw);
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+/// Writes `obj` to `path` with a trailing newline; returns false (and
+/// prints to stderr) on I/O failure.
+bool WriteJsonFile(const std::string& path, const JsonObj& obj);
+
 }  // namespace brisk::bench

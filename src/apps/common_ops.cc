@@ -16,8 +16,8 @@ void CountingSink::Process(const Tuple& in, api::OutputCollector* out) {
 }
 
 void ValidatingParser::Process(const Tuple& in, api::OutputCollector* out) {
-  if (!in.fields.empty() && in.fields[0].index() == 2 &&
-      std::get<std::string>(in.fields[0]).empty()) {
+  if (!in.fields.empty() && in.fields[0].is_string() &&
+      in.fields[0].AsString().empty()) {
     ++dropped_;
     return;
   }

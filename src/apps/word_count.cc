@@ -47,11 +47,11 @@ size_t SentenceSpout::NextBatch(size_t max_tuples,
 }
 
 void Splitter::Process(const Tuple& in, api::OutputCollector* out) {
-  const std::string& sentence = in.GetString(0);
+  const std::string_view sentence = in.GetString(0);
   size_t start = 0;
   while (start < sentence.size()) {
     size_t end = sentence.find(' ', start);
-    if (end == std::string::npos) end = sentence.size();
+    if (end == std::string_view::npos) end = sentence.size();
     if (end > start) {
       Tuple t;
       t.fields.emplace_back(sentence.substr(start, end - start));
@@ -63,8 +63,10 @@ void Splitter::Process(const Tuple& in, api::OutputCollector* out) {
 }
 
 void WordCounter::Process(const Tuple& in, api::OutputCollector* out) {
-  const std::string& word = in.GetString(0);
-  const int64_t count = ++counts_[word];
+  const std::string_view word = in.GetString(0);
+  // Word keys are short (SSO) — the only steady-state allocations here
+  // are map nodes for first-seen words.
+  const int64_t count = ++counts_[std::string(word)];
   Tuple t;
   t.fields.emplace_back(word);
   t.fields.emplace_back(count);

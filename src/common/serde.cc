@@ -33,13 +33,13 @@ void SerializeTuple(const Tuple& t, std::vector<uint8_t>* out) {
     PutRaw(tag, out);
     switch (f.index()) {
       case 0:
-        PutRaw(std::get<int64_t>(f), out);
+        PutRaw(f.AsInt(), out);
         break;
       case 1:
-        PutRaw(std::get<double>(f), out);
+        PutRaw(f.AsDouble(), out);
         break;
       case 2: {
-        const std::string& s = std::get<std::string>(f);
+        const std::string_view s = f.AsString();
         PutRaw(static_cast<uint32_t>(s.size()), out);
         out->insert(out->end(), s.begin(), s.end());
         break;
@@ -88,7 +88,7 @@ StatusOr<Tuple> DeserializeTuple(const std::vector<uint8_t>& buf,
         if (*offset + len > buf.size()) {
           return Status::OutOfRange("truncated string payload");
         }
-        t.fields.emplace_back(std::string(
+        t.fields.emplace_back(std::string_view(
             reinterpret_cast<const char*>(buf.data() + *offset), len));
         *offset += len;
         break;

@@ -25,7 +25,7 @@ size_t FieldSizeBytes(const Field& f) {
     case 1:
       return sizeof(double);
     case 2:
-      return std::get<std::string>(f).size() + sizeof(uint32_t);
+      return f.AsString().size() + sizeof(uint32_t);
   }
   return 0;
 }
@@ -39,15 +39,15 @@ size_t Tuple::SizeBytes() const {
 uint64_t HashField(const Field& f) {
   switch (f.index()) {
     case 0: {
-      int64_t v = std::get<int64_t>(f);
+      int64_t v = f.AsInt();
       return FnvBytes(&v, sizeof(v));
     }
     case 1: {
-      double v = std::get<double>(f);
+      double v = f.AsDouble();
       return FnvBytes(&v, sizeof(v));
     }
     case 2: {
-      const std::string& s = std::get<std::string>(f);
+      const std::string_view s = f.AsString();
       return FnvBytes(s.data(), s.size());
     }
   }

@@ -1,5 +1,15 @@
 // Inter-task channel: a bounded SPSC queue of envelopes, one per
-// directed (producer instance → consumer instance) edge.
+// directed (producer instance → consumer instance) edge, paired with a
+// reverse SPSC queue that recycles drained JumboTuple batches back to
+// the producer (the BatchPool protocol).
+//
+// Ownership protocol: the producer task allocates (or reuses) a batch,
+// fills it, and pushes it downstream; the consumer drains it, calls
+// Reset(), and hands the empty shell back through Recycle(). The
+// producer prefers recycled shells in TryPopRecycled() over the
+// allocator, so steady state allocates nothing — and, just as
+// important on a NUMA machine, batches are freed by the socket that
+// allocated them instead of cross-socket.
 #pragma once
 
 #include <cstdint>
@@ -11,12 +21,13 @@
 
 namespace brisk::engine {
 
-/// What actually travels through a queue: either a referenced jumbo
-/// tuple (BriskStream's pass-by-reference path, Appendix A) or a
-/// serialized byte buffer (legacy modes).
+/// What actually travels through a queue: a jumbo-tuple batch
+/// (BriskStream's pass-by-reference path, Appendix A). Legacy modes
+/// carry their serialized payload inside the batch (JumboTuple::bytes),
+/// so the envelope itself is just a pointer plus two scalars and moves
+/// trivially through the ring buffer.
 struct Envelope {
   JumboTuplePtr batch;
-  std::unique_ptr<std::vector<uint8_t>> bytes;  ///< legacy payload
   uint32_t count = 0;
   int32_t from_instance = -1;
 };
@@ -26,7 +37,8 @@ class Channel {
   Channel(int from_instance, int to_instance, size_t capacity)
       : from_instance_(from_instance),
         to_instance_(to_instance),
-        queue_(capacity) {}
+        queue_(capacity),
+        recycled_(capacity + 1) {}
 
   int from_instance() const { return from_instance_; }
   int to_instance() const { return to_instance_; }
@@ -36,10 +48,30 @@ class Channel {
   bool TryPop(Envelope* e) { return queue_.TryPop(e); }
   size_t SizeApprox() const { return queue_.SizeApprox(); }
 
+  // BatchPool return path. The roles flip: the channel's consumer task
+  // produces into the recycle queue, its producer task consumes — so
+  // both queues stay single-producer/single-consumer.
+
+  /// Consumer side: hands a drained batch shell back to the producer.
+  /// Capacity (envelope capacity + 1) covers every batch that can be
+  /// in flight, so this cannot fail in the engine's protocol; if a
+  /// caller overfills anyway the batch is simply freed.
+  void Recycle(JumboTuplePtr&& batch) {
+    // If the pool is unexpectedly full, TryPush leaves `batch` owning
+    // and it is freed when the parameter goes out of scope.
+    (void)recycled_.TryPush(std::move(batch));
+  }
+
+  /// Producer side: fetches an empty recycled batch, if any.
+  bool TryPopRecycled(JumboTuplePtr* batch) {
+    return recycled_.TryPop(batch);
+  }
+
  private:
   int from_instance_;
   int to_instance_;
   SpscQueue<Envelope> queue_;
+  SpscQueue<JumboTuplePtr> recycled_;
 };
 
 }  // namespace brisk::engine

@@ -46,6 +46,12 @@ struct EngineConfig {
   /// footprint §5.1 eliminates (exception scaffolding, config checks).
   bool extra_condition_checks = false;
 
+  /// Recycle drained JumboTuple batches back to the producer through
+  /// the channel's return queue (BatchPool) instead of freeing them on
+  /// the consumer's socket. On by default — off only for measuring the
+  /// allocate-per-flush cost it removes.
+  bool recycle_batches = true;
+
   /// Charge Formula-2 remote-fetch stalls (busy-wait) for batches that
   /// cross virtual sockets in the plan (hardware substitution — see
   /// DESIGN.md §1).
@@ -79,6 +85,7 @@ struct EngineConfig {
     c.serialize_tuples = true;
     c.duplicate_headers = true;
     c.extra_condition_checks = true;
+    c.recycle_batches = false;  // legacy runtimes allocate per transfer
     return c;
   }
 
@@ -90,6 +97,7 @@ struct EngineConfig {
     c.queue_capacity = 512;
     c.serialize_tuples = true;
     c.duplicate_headers = true;
+    c.recycle_batches = false;  // legacy runtimes allocate per transfer
     return c;
   }
 };

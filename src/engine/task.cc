@@ -41,6 +41,15 @@ int Task::AddBuffer() {
   return static_cast<int>(buffers_.size()) - 1;
 }
 
+void Task::AddOutRoute(OutRoute route) {
+  const uint16_t sid = route.stream_id;
+  if (last_route_for_stream_.size() <= sid) {
+    last_route_for_stream_.resize(sid + 1, -1);
+  }
+  last_route_for_stream_[sid] = static_cast<int>(routes_.size());
+  routes_.push_back(std::move(route));
+}
+
 Status Task::Prepare(const api::OperatorContext& ctx) {
   if (spout_) return spout_->Prepare(ctx);
   if (bolt_) return bolt_->Prepare(ctx);
@@ -71,48 +80,61 @@ void Task::LegacyPerTupleWork(const Tuple& t) {
   }
 }
 
+void Task::AppendTuple(OutRoute& route, size_t i, Tuple&& t) {
+  JumboTuple& buf = buffers_[route.buffer_index[i]];
+  buf.tuples.push_back(std::move(t));
+  if (static_cast<int>(buf.tuples.size()) >= config_.batch_size) {
+    FlushBuffer(route.buffer_index[i], route.channels[i], false);
+  }
+}
+
 void Task::EmitTo(uint16_t stream_id, Tuple t) {
   ++stats_.tuples_out;
   LegacyPerTupleWork(t);
   t.stream_id = stream_id;
-  for (auto& route : routes_) {
+  // The last route on the stream receives the tuple by move; earlier
+  // routes (rare: multi-consumer streams) each pay one copy. The
+  // common single-route case is therefore copy-free.
+  const int last_route =
+      stream_id < last_route_for_stream_.size()
+          ? last_route_for_stream_[stream_id]
+          : -1;
+  if (last_route < 0) return;  // no consumer on this stream
+  for (size_t r = 0; r < routes_.size(); ++r) {
+    OutRoute& route = routes_[r];
     if (route.stream_id != stream_id) continue;
+    const bool moves = static_cast<int>(r) == last_route;
+    // Moves `t` into consumer `i`'s buffer when this route is the
+    // last recipient, otherwise hands over a copy.
+    auto forward = [&](size_t i) {
+      if (moves) {
+        AppendTuple(route, i, std::move(t));
+      } else {
+        AppendTuple(route, i, Tuple(t));
+      }
+    };
     switch (route.grouping) {
       case api::GroupingType::kShuffle: {
-        const size_t i = route.rr_cursor++ % route.channels.size();
-        JumboTuple& buf = buffers_[route.buffer_index[i]];
-        buf.tuples.push_back(t);
-        if (static_cast<int>(buf.tuples.size()) >= config_.batch_size) {
-          FlushBuffer(route.buffer_index[i], route.channels[i], false);
-        }
+        // Wrap by compare-and-reset: no per-emit `%` (consumer counts
+        // are rarely powers of two, so the div is a real cost).
+        const size_t i = route.rr_cursor;
+        if (++route.rr_cursor == route.channels.size()) route.rr_cursor = 0;
+        forward(i);
         break;
       }
       case api::GroupingType::kFields: {
-        const size_t i =
-            HashField(t.fields[route.key_field]) % route.channels.size();
-        JumboTuple& buf = buffers_[route.buffer_index[i]];
-        buf.tuples.push_back(t);
-        if (static_cast<int>(buf.tuples.size()) >= config_.batch_size) {
-          FlushBuffer(route.buffer_index[i], route.channels[i], false);
-        }
+        forward(HashField(t.fields[route.key_field]) %
+                route.channels.size());
         break;
       }
       case api::GroupingType::kBroadcast: {
-        for (size_t i = 0; i < route.channels.size(); ++i) {
-          JumboTuple& buf = buffers_[route.buffer_index[i]];
-          buf.tuples.push_back(t);
-          if (static_cast<int>(buf.tuples.size()) >= config_.batch_size) {
-            FlushBuffer(route.buffer_index[i], route.channels[i], false);
-          }
-        }
+        const size_t n = route.channels.size();
+        for (size_t i = 0; i + 1 < n; ++i) AppendTuple(route, i, Tuple(t));
+        forward(n - 1);
         break;
       }
       case api::GroupingType::kGlobal: {
-        JumboTuple& buf = buffers_[route.buffer_index[0]];
-        buf.tuples.push_back(t);
-        if (static_cast<int>(buf.tuples.size()) >= config_.batch_size) {
-          FlushBuffer(route.buffer_index[0], route.channels[0], false);
-        }
+        forward(0);
         break;
       }
     }
@@ -125,21 +147,30 @@ void Task::FlushBuffer(int buffer_idx, Channel* channel, bool force) {
   if (!force && static_cast<int>(buf.tuples.size()) < config_.batch_size) {
     return;
   }
+  // BatchPool: prefer an empty shell the consumer handed back over the
+  // allocator. Steady state cycles the same shells (and their tuple /
+  // byte capacity) between producer and consumer forever.
+  JumboTuplePtr batch;
+  if (config_.recycle_batches && channel->TryPopRecycled(&batch)) {
+    ++stats_.batches_recycled;
+    batch->Reset();  // consumer already Reset(); cheap belt-and-braces
+  } else {
+    batch = std::make_unique<JumboTuple>();
+  }
+  batch->producer_task = instance_id_;
+  batch->batch_seq = batch_seq_++;
   Envelope env;
   env.count = static_cast<uint32_t>(buf.tuples.size());
   env.from_instance = instance_id_;
   if (config_.serialize_tuples) {
-    env.bytes = std::make_unique<std::vector<uint8_t>>();
-    SerializeBatch(buf.tuples, env.bytes.get());
-    buf.tuples.clear();
+    SerializeBatch(buf.tuples, &batch->bytes);
+    buf.tuples.clear();  // keeps staging capacity
   } else {
-    auto batch = std::make_unique<JumboTuple>();
-    batch->producer_task = instance_id_;
-    batch->batch_seq = batch_seq_++;
-    batch->tuples = std::move(buf.tuples);
-    buf.tuples.clear();
-    env.batch = std::move(batch);
+    // The shell's (empty, capacity-bearing) vector becomes the new
+    // staging buffer — no allocation on either side of the swap.
+    std::swap(batch->tuples, buf.tuples);
   }
+  env.batch = std::move(batch);
   ++stats_.batches_out;
   // Back-pressure: spin until the consumer drains (or we are stopped,
   // in which case the in-flight batch is dropped).
@@ -158,12 +189,12 @@ void Task::FlushAll(bool force) {
   }
 }
 
-void Task::Consume(Envelope env) {
+void Task::Consume(Envelope env, Channel* from) {
+  if (!env.batch) return;  // dropped/empty envelope
   std::vector<Tuple> local_tuples;
   const std::vector<Tuple>* tuples = nullptr;
-  if (!env.bytes && !env.batch) return;  // dropped/empty envelope
-  if (env.bytes) {
-    auto decoded = DeserializeBatch(*env.bytes, env.count);
+  if (!env.batch->bytes.empty()) {
+    auto decoded = DeserializeBatch(env.batch->bytes, env.count);
     BRISK_CHECK(decoded.ok()) << decoded.status().ToString();
     local_tuples = std::move(decoded).value();
     tuples = &local_tuples;
@@ -191,6 +222,12 @@ void Task::Consume(Envelope env) {
   stats_.busy_ns += static_cast<uint64_t>(NowNs() - t0);
   stats_.tuples_in += tuples->size();
   ++stats_.batches_in;
+  if (config_.recycle_batches && from != nullptr) {
+    // Hand the drained shell back to the producer instead of freeing
+    // it here (which, under NUMA, would free remote-socket memory).
+    env.batch->Reset();
+    from->Recycle(std::move(env.batch));
+  }
 }
 
 void Task::RunSpout(const std::atomic<bool>* stop) {
@@ -233,7 +270,7 @@ void Task::RunBolt(const std::atomic<bool>* stop) {
       Envelope env;
       if (ch->TryPop(&env)) {
         in_cursor_ = (in_cursor_ + k + 1) % inputs_.size();
-        Consume(std::move(env));
+        Consume(std::move(env), ch);
         any = true;
         break;
       }

@@ -38,6 +38,9 @@ struct TaskStats {
   uint64_t tuples_out = 0;
   uint64_t batches_in = 0;
   uint64_t batches_out = 0;
+  /// Outbound batches whose shell came from the channel's recycle
+  /// queue instead of the allocator (BatchPool hit rate).
+  uint64_t batches_recycled = 0;
   uint64_t backpressure_spins = 0;
   /// Wall time spent inside operator Process()/NextBatch() calls, ns.
   uint64_t busy_ns = 0;
@@ -64,7 +67,7 @@ class Task : public api::OutputCollector {
     bolt_ = std::move(bolt);
   }
   void AddInput(Channel* channel) { inputs_.push_back(channel); }
-  void AddOutRoute(OutRoute route) { routes_.push_back(std::move(route)); }
+  void AddOutRoute(OutRoute route);
   /// Registers one output buffer per channel; returns its index.
   int AddBuffer();
   /// Socket of every instance in the plan (for NUMA charging of
@@ -97,11 +100,17 @@ class Task : public api::OutputCollector {
   void RunSpout(const std::atomic<bool>* stop);
   void RunBolt(const std::atomic<bool>* stop);
 
-  /// Handles one inbound envelope (NUMA charge, deserialize, process).
-  void Consume(Envelope env);
+  /// Handles one inbound envelope (NUMA charge, deserialize, process)
+  /// and recycles the drained batch shell back through `from`.
+  void Consume(Envelope env, Channel* from);
+
+  /// Moves `t` into consumer `i`'s jumbo buffer on `route`, flushing
+  /// when the batch fills. The single move is the whole routing cost.
+  void AppendTuple(OutRoute& route, size_t i, Tuple&& t);
 
   /// Moves a full (or, with force, partial) buffer into its channel,
-  /// spinning on back-pressure.
+  /// spinning on back-pressure. Reuses a recycled batch shell from the
+  /// channel's return queue when one is available.
   void FlushBuffer(int buffer_idx, Channel* channel, bool force);
   void FlushAll(bool force);
 
@@ -120,6 +129,10 @@ class Task : public api::OutputCollector {
   const std::vector<int>* instance_sockets_ = nullptr;
   size_t in_cursor_ = 0;
   std::vector<OutRoute> routes_;
+  /// routes_ index of the last route on each stream id (-1 = none):
+  /// every earlier matching route copies the emitted tuple, the last
+  /// one receives it by move.
+  std::vector<int> last_route_for_stream_;
   std::vector<JumboTuple> buffers_;
   uint64_t batch_seq_ = 0;
 

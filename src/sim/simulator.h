@@ -13,6 +13,13 @@
 // efficiency factor: multi-cache-line tuples fetch cheaper per line
 // than Formula 2 predicts (the paper observes exactly this for the
 // Splitter in Table 3), single-line tuples slightly dearer.
+//
+// Tuple-size convention: the per-tuple N feeding Formula 2 here (each
+// edge's bytes_per_tuple, from the profiles' output_bytes, ultimately
+// Tuple::SizeBytes()) is the *logical* payload size. It is invariant
+// to the in-memory tuple layout — inline vs spilled fields report the
+// same N — so the engine's zero-allocation representation
+// (common/tuple.h) and this cost model cannot drift apart.
 #pragma once
 
 #include <cstdint>

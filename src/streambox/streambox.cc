@@ -178,11 +178,11 @@ StreamBoxEngine MakeWordCountStreamBox(const StreamBoxConfig& config,
 
   StageFn split = [](const Morsel& in, std::vector<Tuple>* out) {
     for (const Tuple& t : in.records) {
-      const std::string& s = t.GetString(0);
+      const std::string_view s = t.GetString(0);
       size_t start = 0;
       while (start < s.size()) {
         size_t end = s.find(' ', start);
-        if (end == std::string::npos) end = s.size();
+        if (end == std::string_view::npos) end = s.size();
         if (end > start) {
           Tuple w;
           w.fields.emplace_back(s.substr(start, end - start));
@@ -196,12 +196,12 @@ StreamBoxEngine MakeWordCountStreamBox(const StreamBoxConfig& config,
   StageFn count = [shards, kShards](const Morsel& in,
                                     std::vector<Tuple>* out) {
     for (const Tuple& t : in.records) {
-      const std::string& word = t.GetString(0);
+      const std::string_view word = t.GetString(0);
       const size_t shard = HashField(t.fields[0]) % kShards;
       int64_t c;
       {
         std::lock_guard<std::mutex> lock(shards->locks[shard]);
-        c = ++shards->maps[shard][word];
+        c = ++shards->maps[shard][std::string(word)];
       }
       Tuple r;
       r.fields.emplace_back(word);

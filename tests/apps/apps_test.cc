@@ -53,7 +53,7 @@ TEST(WordCountTest, SpoutEmitsSentencesOfTenWords) {
   EXPECT_EQ(spout.NextBatch(20, &out), 20u);
   ASSERT_EQ(out.stream(0).size(), 20u);
   for (const auto& t : out.stream(0)) {
-    const std::string& sentence = t.GetString(0);
+    const std::string_view sentence = t.GetString(0);
     const long spaces = std::count(sentence.begin(), sentence.end(), ' ');
     EXPECT_EQ(spaces, params.words_per_sentence - 1);
     EXPECT_GT(t.origin_ts_ns, 0);

@@ -1,0 +1,102 @@
+// HashField is the fields-grouping router: it must be stable across
+// runs and processes (the optimizer's model and the engine must agree
+// on key→replica routing), identical for equal keys regardless of how
+// the Field was built or stored, and spread realistic key sets close
+// to uniformly over replicas.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+
+namespace brisk {
+namespace {
+
+/// Independent FNV-1a reference (the documented algorithm), so a
+/// silent change to the production hash fails here instead of quietly
+/// re-routing every fields-grouped key.
+uint64_t ReferenceFnv1a(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(HashFieldTest, MatchesDocumentedFnv1aAcrossRuns) {
+  const std::string word = "brisk";
+  EXPECT_EQ(HashField(Field(word)), ReferenceFnv1a(word.data(), word.size()));
+  const int64_t key = 0x1234567890ABCDEFLL;
+  EXPECT_EQ(HashField(Field(key)), ReferenceFnv1a(&key, sizeof(key)));
+  const double reading = 98.25;
+  EXPECT_EQ(HashField(Field(reading)),
+            ReferenceFnv1a(&reading, sizeof(reading)));
+}
+
+TEST(HashFieldTest, EqualKeysHashIdenticallyForIntAndStringReplicas) {
+  // The same logical key must route to the same replica no matter
+  // which replica (or process) computes the hash and no matter how the
+  // Field object was produced.
+  for (int64_t k : {int64_t{0}, int64_t{7}, int64_t{-1}, int64_t{1} << 40}) {
+    EXPECT_EQ(HashField(Field(k)), HashField(Field(k)));
+  }
+  for (const char* w : {"", "a", "account-42", "kalomira7"}) {
+    EXPECT_EQ(HashField(Field(w)), HashField(Field(std::string(w))));
+    EXPECT_EQ(HashField(Field(w)), HashField(Field(std::string_view(w))));
+  }
+}
+
+TEST(HashFieldTest, HashIsLayoutIndependentForInlineAndSpilledStrings) {
+  // Equal content must hash equally whether the string sits inline in
+  // the Field or in a spilled heap block (routing must not depend on
+  // the storage path the value took).
+  const std::string long_key(3 * Field::kInlineStringCap, 'q');
+  const Field heap1(long_key);
+  const Field heap2{std::string_view(long_key)};
+  EXPECT_EQ(HashField(heap1), HashField(heap2));
+  const std::string short_key = "tuvesz12";
+  ASSERT_LE(short_key.size(), Field::kInlineStringCap);
+  EXPECT_EQ(HashField(Field(short_key)),
+            HashField(Field(std::string_view(short_key))));
+  // And a copied/moved Field keeps the hash of its source.
+  Field original(long_key);
+  Field copied(original);
+  Field moved(std::move(original));
+  EXPECT_EQ(HashField(copied), HashField(moved));
+}
+
+TEST(HashFieldTest, SpreadsWordCountKeysNearUniformlyOverFourReplicas) {
+  // word_count-style vocabulary (syllable words, Zipf-popular heads):
+  // with 4 counter replicas each must receive its fair share of the
+  // key space — ±20% of uniform — and the chi-squared statistic must
+  // stay well under the blow-up that would signal a broken hash.
+  static const char* kSyllables[] = {"ka", "lo", "mi", "ra", "tu", "ves",
+                                     "zor", "pin", "qua", "sel", "dra",
+                                     "fen", "gul", "hex", "jov", "wyn"};
+  constexpr int kReplicas = 4;
+  constexpr int kKeys = 4096;
+  std::vector<int> bucket(kReplicas, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    std::string w = kSyllables[i % 16];
+    w += kSyllables[(i / 16) % 16];
+    w += kSyllables[(i / 256) % 16];
+    w += std::to_string(i % 100);
+    ++bucket[HashField(Field(w)) % kReplicas];
+  }
+  const double expected = static_cast<double>(kKeys) / kReplicas;
+  double chi2 = 0.0;
+  for (int r = 0; r < kReplicas; ++r) {
+    EXPECT_GT(bucket[r], expected * 0.8) << "replica " << r << " starved";
+    EXPECT_LT(bucket[r], expected * 1.2) << "replica " << r << " overloaded";
+    const double d = bucket[r] - expected;
+    chi2 += d * d / expected;
+  }
+  // 3 degrees of freedom: P(chi2 > 16.27) < 0.1% for a uniform hash.
+  EXPECT_LT(chi2, 16.27);
+}
+
+}  // namespace
+}  // namespace brisk

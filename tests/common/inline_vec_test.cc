@@ -1,0 +1,133 @@
+// Tests for the inline-storage vector behind Tuple::fields: inline
+// fast path, heap spill beyond the fixed capacity, and ownership
+// semantics across copy/move in both storage states.
+#include "common/inline_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace brisk {
+namespace {
+
+TEST(InlineVecTest, StartsEmptyInline) {
+  InlineVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_FALSE(v.on_heap());
+}
+
+TEST(InlineVecTest, StaysInlineUpToCapacity) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_FALSE(v.on_heap());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  // The elements really live inside the object.
+  const auto* obj_begin = reinterpret_cast<const char*>(&v);
+  const auto* obj_end = obj_begin + sizeof(v);
+  const auto* elems = reinterpret_cast<const char*>(v.data());
+  EXPECT_GE(elems, obj_begin);
+  EXPECT_LT(elems, obj_end);
+}
+
+TEST(InlineVecTest, SpillsToHeapBeyondCapacityAndKeepsContents) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 20u);
+  EXPECT_TRUE(v.on_heap());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(InlineVecTest, InitializerListConstructAndAssign) {
+  InlineVec<std::string, 4> v{"a", "bb", "ccc"};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], "ccc");
+  v = {"x", "y"};
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "x");
+  // Assigning more than the inline capacity spills.
+  v = {"1", "2", "3", "4", "5", "6"};
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_TRUE(v.on_heap());
+  EXPECT_EQ(v[5], "6");
+}
+
+TEST(InlineVecTest, CopyIsDeepInBothStorageStates) {
+  InlineVec<std::string, 2> inline_v{"one", "two"};
+  InlineVec<std::string, 2> spilled{"one", "two", "three"};
+  InlineVec<std::string, 2> ci = inline_v;
+  InlineVec<std::string, 2> cs = spilled;
+  inline_v[0] = "mutated";
+  spilled[0] = "mutated";
+  EXPECT_EQ(ci[0], "one");
+  EXPECT_EQ(cs[0], "one");
+  EXPECT_EQ(cs.size(), 3u);
+}
+
+TEST(InlineVecTest, MoveStealsHeapBlockAndEmptiesSource) {
+  InlineVec<std::string, 2> v{"a", "b", "c", "d"};
+  ASSERT_TRUE(v.on_heap());
+  const std::string* elems = v.data();
+  InlineVec<std::string, 2> m = std::move(v);
+  EXPECT_EQ(m.data(), elems);  // heap block handed over, not copied
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.on_heap());
+  v.push_back("reusable after move");
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(InlineVecTest, MoveOfInlineElementsMovesEachElement) {
+  InlineVec<std::unique_ptr<int>, 4> v;
+  v.emplace_back(std::make_unique<int>(1));
+  v.emplace_back(std::make_unique<int>(2));
+  InlineVec<std::unique_ptr<int>, 4> m = std::move(v);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(*m[0], 1);
+  EXPECT_EQ(*m[1], 2);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(InlineVecTest, MoveAssignReleasesPreviousContents) {
+  InlineVec<std::string, 2> dst{"old1", "old2", "old3"};  // heap
+  InlineVec<std::string, 2> src{"new"};
+  dst = std::move(src);
+  ASSERT_EQ(dst.size(), 1u);
+  EXPECT_EQ(dst[0], "new");
+}
+
+TEST(InlineVecTest, ClearDestroysButKeepsStorage) {
+  InlineVec<int, 2> v{1, 2, 3, 4};
+  const size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);  // spill block retained for reuse
+  v.push_back(9);
+  EXPECT_EQ(v[0], 9);
+}
+
+TEST(InlineVecTest, ReserveOnlyGrows) {
+  InlineVec<int, 4> v;
+  v.reserve(2);
+  EXPECT_FALSE(v.on_heap());  // within inline capacity: no-op
+  v.reserve(16);
+  EXPECT_GE(v.capacity(), 16u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(InlineVecTest, IterationAndBackFront) {
+  InlineVec<int, 4> v{10, 20, 30};
+  int sum = 0;
+  for (const int x : v) sum += x;
+  EXPECT_EQ(sum, 60);
+  EXPECT_EQ(v.front(), 10);
+  EXPECT_EQ(v.back(), 30);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 20);
+}
+
+}  // namespace
+}  // namespace brisk

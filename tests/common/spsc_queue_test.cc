@@ -71,6 +71,58 @@ TEST(SpscQueueTest, MoveOnlyElements) {
   EXPECT_EQ(*out, 5);
 }
 
+TEST(SpscQueueTest, MoveOnlyElementsSurviveIndexWraparound) {
+  // Regression test for the ring-index arithmetic with move-only
+  // payloads (the engine's Envelope / recycled JumboTuplePtr case):
+  // cycle several times the queue capacity so head/tail wrap, and
+  // check nothing is lost, duplicated, or reordered.
+  SpscQueue<std::unique_ptr<int>> q(4);
+  const size_t cap = q.capacity();
+  int produced = 0;
+  int consumed = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    while (q.TryPush(std::make_unique<int>(produced))) ++produced;
+    EXPECT_EQ(q.SizeApprox(), cap);  // full at every cycle
+    std::unique_ptr<int> out;
+    while (q.TryPop(&out)) {
+      ASSERT_NE(out, nullptr);
+      EXPECT_EQ(*out, consumed);  // FIFO across wraparounds
+      ++consumed;
+    }
+    EXPECT_TRUE(q.EmptyApprox());
+  }
+  EXPECT_EQ(produced, consumed);
+  EXPECT_GT(produced, static_cast<int>(cap) * 4);  // really wrapped
+}
+
+TEST(SpscQueueTest, MoveOnlyFullAndEmptyBoundaries) {
+  SpscQueue<std::unique_ptr<int>> q(2);
+  // Empty boundary: TryPop must fail and leave `out` untouched.
+  auto sentinel = std::make_unique<int>(-1);
+  EXPECT_FALSE(q.TryPop(&sentinel));
+  ASSERT_NE(sentinel, nullptr);
+  EXPECT_EQ(*sentinel, -1);
+  // Fill to the full boundary.
+  size_t pushed = 0;
+  while (q.TryPush(std::make_unique<int>(static_cast<int>(pushed)))) {
+    ++pushed;
+  }
+  EXPECT_EQ(pushed, q.capacity());
+  // Full boundary: a failed TryPush must leave the argument unmoved,
+  // exactly as the doc comment promises (back-pressure loops retry
+  // the same object).
+  auto retry_me = std::make_unique<int>(777);
+  EXPECT_FALSE(q.TryPush(std::move(retry_me)));
+  ASSERT_NE(retry_me, nullptr);
+  EXPECT_EQ(*retry_me, 777);
+  // One pop frees exactly one slot; the retried push then consumes it.
+  std::unique_ptr<int> popped;
+  EXPECT_TRUE(q.TryPop(&popped));
+  EXPECT_TRUE(q.TryPush(std::move(retry_me)));
+  EXPECT_EQ(retry_me, nullptr);
+  EXPECT_FALSE(q.TryPush(std::make_unique<int>(0)));  // full again
+}
+
 TEST(SpscQueueTest, ConcurrentProducerConsumerTransfersEverything) {
   SpscQueue<uint64_t> q(1024);
   constexpr uint64_t kCount = 500000;

@@ -40,6 +40,75 @@ TEST(TupleTest, FieldSizeBytesPerType) {
   EXPECT_EQ(FieldSizeBytes(Field(std::string("abc"))), 3u + 4u);
 }
 
+TEST(FieldTest, SmallStringsStayInline) {
+  // Strings up to the inline cap live inside the 32-byte Field; the
+  // whole word_count/fraud key space must qualify.
+  const std::string at_cap(Field::kInlineStringCap, 'w');
+  Field f(at_cap);
+  EXPECT_TRUE(f.is_string());
+  EXPECT_EQ(f.AsString(), at_cap);
+  // The view points into the field object itself, not the heap.
+  const auto* obj = reinterpret_cast<const char*>(&f);
+  EXPECT_GE(f.AsString().data(), obj);
+  EXPECT_LT(f.AsString().data(), obj + sizeof(Field));
+}
+
+TEST(FieldTest, LongStringsSpillAndRoundTrip) {
+  const std::string sentence(Field::kInlineStringCap * 4 + 1, 's');
+  Field f(sentence);
+  EXPECT_EQ(f.AsString(), sentence);
+  Field copy(f);
+  EXPECT_EQ(copy.AsString(), sentence);
+  // Deep copy: mutating the original via reassignment leaves the copy.
+  f = Field(int64_t{1});
+  EXPECT_EQ(copy.AsString(), sentence);
+  // Move hands the block over and leaves the source an empty string.
+  const char* block = copy.AsString().data();
+  Field moved(std::move(copy));
+  EXPECT_EQ(moved.AsString().data(), block);
+  EXPECT_EQ(moved.AsString(), sentence);
+  EXPECT_TRUE(copy.is_string());
+  EXPECT_TRUE(copy.AsString().empty());
+}
+
+TEST(FieldTest, VariantCompatibleIndexOrder) {
+  EXPECT_EQ(Field(int64_t{3}).index(), 0u);
+  EXPECT_EQ(Field(3.0).index(), 1u);
+  EXPECT_EQ(Field("three").index(), 2u);
+  EXPECT_EQ(Field().index(), 0u);  // default is int64 0, like the variant
+  EXPECT_EQ(Field().AsInt(), 0);
+}
+
+TEST(TupleTest, FieldsStayInlineUpToFourAndSpillBeyond) {
+  Tuple t;
+  for (int i = 0; i < 4; ++i) t.fields.emplace_back(int64_t{i});
+  EXPECT_FALSE(t.fields.on_heap());
+  t.fields.emplace_back(int64_t{4});  // LR position-report arity
+  EXPECT_TRUE(t.fields.on_heap());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(t.GetInt(i), i);
+}
+
+TEST(TupleTest, MovingATupleMovesFieldsWithoutCopying) {
+  Tuple t;
+  t.fields.emplace_back(std::string(100, 'z'));  // spilled string
+  const char* block = t.fields[0].AsString().data();
+  Tuple m = std::move(t);
+  EXPECT_EQ(m.fields[0].AsString().data(), block);  // no reallocation
+  EXPECT_EQ(m.fields[0].AsString().size(), 100u);
+}
+
+TEST(TupleTest, SizeBytesIsLayoutIndependent) {
+  // The model's N must not change with the in-memory representation:
+  // an inline and a spilled string of the same length, and inline vs
+  // spilled field storage, all report identical logical sizes.
+  const std::string short_key(10, 'k');
+  EXPECT_EQ(FieldSizeBytes(Field(short_key)), 10u + sizeof(uint32_t));
+  Tuple wide;  // 5 fields: spilled field storage
+  for (int i = 0; i < 5; ++i) wide.fields.emplace_back(int64_t{i});
+  EXPECT_EQ(wide.SizeBytes(),
+            sizeof(int64_t) + sizeof(uint16_t) + 5 * sizeof(int64_t));
+}
+
 TEST(TupleTest, HashFieldStableAndTypeSensitive) {
   EXPECT_EQ(HashField(Field(std::string("word"))),
             HashField(Field(std::string("word"))));

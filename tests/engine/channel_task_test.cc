@@ -35,6 +35,38 @@ TEST(ChannelTest, RoundTripsEnvelopes) {
   EXPECT_FALSE(ch.TryPop(&out));
 }
 
+TEST(ChannelTest, RecycleReturnsShellsToTheProducerSide) {
+  Channel ch(0, 1, 4);
+  // Nothing recycled yet.
+  JumboTuplePtr shell;
+  EXPECT_FALSE(ch.TryPopRecycled(&shell));
+  // Consumer hands back two drained shells; producer gets both, FIFO.
+  auto a = std::make_unique<JumboTuple>();
+  a->batch_seq = 1;
+  auto b = std::make_unique<JumboTuple>();
+  b->batch_seq = 2;
+  ch.Recycle(std::move(a));
+  ch.Recycle(std::move(b));
+  ASSERT_TRUE(ch.TryPopRecycled(&shell));
+  EXPECT_EQ(shell->batch_seq, 1u);
+  ASSERT_TRUE(ch.TryPopRecycled(&shell));
+  EXPECT_EQ(shell->batch_seq, 2u);
+  EXPECT_FALSE(ch.TryPopRecycled(&shell));
+}
+
+TEST(ChannelTest, RecycledShellKeepsCapacityAfterReset) {
+  Channel ch(0, 1, 4);
+  auto batch = std::make_unique<JumboTuple>();
+  for (int i = 0; i < 64; ++i) batch->tuples.push_back(WordTuple("w"));
+  const size_t cap = batch->tuples.capacity();
+  batch->Reset();
+  EXPECT_TRUE(batch->empty());
+  ch.Recycle(std::move(batch));
+  JumboTuplePtr shell;
+  ASSERT_TRUE(ch.TryPopRecycled(&shell));
+  EXPECT_EQ(shell->tuples.capacity(), cap);  // the point of the pool
+}
+
 TEST(ChannelTest, RetryAfterFullPushKeepsEnvelope) {
   Channel ch(0, 1, 2);
   size_t pushed = 0;
@@ -95,12 +127,15 @@ class RoutingFixture : public ::testing::Test {
     task_->AddOutRoute(std::move(route));
   }
 
-  /// Pops every batch from channel `c` and returns the tuples.
+  /// Pops every batch from channel `c` and returns the tuples,
+  /// recycling the drained shells like a consumer task would.
   std::vector<Tuple> Drain(int c) {
     std::vector<Tuple> out;
     Envelope env;
     while (channels_[c]->TryPop(&env)) {
       for (auto& t : env.batch->tuples) out.push_back(t);
+      env.batch->Reset();
+      channels_[c]->Recycle(std::move(env.batch));
     }
     return out;
   }
@@ -128,7 +163,9 @@ TEST_F(RoutingFixture, FieldsGroupingRoutesSameKeyToSameConsumer) {
   // Collect word->consumer mapping; each word must map to exactly one.
   std::map<std::string, std::set<int>> where;
   for (int c = 0; c < 4; ++c) {
-    for (const auto& t : Drain(c)) where[t.GetString(0)].insert(c);
+    for (const auto& t : Drain(c)) {
+      where[std::string(t.GetString(0))].insert(c);
+    }
   }
   EXPECT_EQ(where.size(), 4u);  // four distinct words
   for (const auto& [word, consumers] : where) {
@@ -163,6 +200,72 @@ TEST_F(RoutingFixture, StatsCountEmissions) {
   for (int i = 0; i < 10; ++i) task_->EmitTo(0, WordTuple("s"));
   EXPECT_EQ(task_->stats().tuples_out, 10u);
   EXPECT_EQ(task_->stats().batches_out, 4u);  // 2 full batches each side
+}
+
+TEST_F(RoutingFixture, FlushReusesRecycledBatchShells) {
+  Wire(api::GroupingType::kShuffle, 1, /*batch_size=*/4);
+  // First flush: pool empty, shell is allocated.
+  for (int i = 0; i < 4; ++i) task_->EmitTo(0, WordTuple("a"));
+  EXPECT_EQ(task_->stats().batches_out, 1u);
+  EXPECT_EQ(task_->stats().batches_recycled, 0u);
+  EXPECT_EQ(Drain(0).size(), 4u);  // drain hands the shell back
+  // Every subsequent flush reuses the recycled shell: steady state
+  // never touches the allocator.
+  for (int round = 1; round <= 3; ++round) {
+    for (int i = 0; i < 4; ++i) task_->EmitTo(0, WordTuple("b"));
+    EXPECT_EQ(Drain(0).size(), 4u);
+    EXPECT_EQ(task_->stats().batches_recycled,
+              static_cast<uint64_t>(round));
+  }
+}
+
+TEST_F(RoutingFixture, RecyclingDisabledStillFlows) {
+  config_ = EngineConfig::Brisk();
+  config_.batch_size = 2;
+  config_.recycle_batches = false;
+  task_ = std::make_unique<Task>(0, 0, config_, nullptr);
+  OutRoute route;
+  route.stream_id = 0;
+  route.grouping = api::GroupingType::kShuffle;
+  channels_.push_back(std::make_unique<Channel>(0, 1, 64));
+  route.channels.push_back(channels_.back().get());
+  route.buffer_index.push_back(task_->AddBuffer());
+  task_->AddOutRoute(std::move(route));
+  for (int i = 0; i < 6; ++i) task_->EmitTo(0, WordTuple("c"));
+  EXPECT_EQ(Drain(0).size(), 6u);
+  EXPECT_EQ(task_->stats().batches_recycled, 0u);  // pool bypassed
+}
+
+/// Two routes on the same stream: every route must see every tuple —
+/// earlier routes receive copies, the last one the moved original.
+TEST_F(RoutingFixture, MultipleRoutesOnOneStreamAllReceiveTheTuple) {
+  config_ = EngineConfig::Brisk();
+  config_.batch_size = 1;
+  task_ = std::make_unique<Task>(0, 0, config_, nullptr);
+  for (int r = 0; r < 2; ++r) {
+    OutRoute route;
+    route.stream_id = 0;
+    route.grouping = api::GroupingType::kGlobal;
+    channels_.push_back(std::make_unique<Channel>(0, r + 1, 64));
+    route.channels.push_back(channels_.back().get());
+    route.buffer_index.push_back(task_->AddBuffer());
+    task_->AddOutRoute(std::move(route));
+  }
+  const std::string long_word(100, 'x');  // heap string: copies must be deep
+  for (int i = 0; i < 3; ++i) task_->EmitTo(0, WordTuple(long_word));
+  for (int c = 0; c < 2; ++c) {
+    const std::vector<Tuple> got = Drain(c);
+    ASSERT_EQ(got.size(), 3u) << "route " << c;
+    for (const Tuple& t : got) EXPECT_EQ(t.GetString(0), long_word);
+  }
+}
+
+TEST_F(RoutingFixture, EmitOnStreamWithoutRoutesIsDropped) {
+  Wire(api::GroupingType::kShuffle, 1, /*batch_size=*/1);
+  task_->EmitTo(7, WordTuple("nowhere"));  // no route on stream 7
+  task_->EmitTo(0, WordTuple("routed"));
+  EXPECT_EQ(Drain(0).size(), 1u);
+  EXPECT_EQ(task_->stats().tuples_out, 2u);
 }
 
 }  // namespace
