@@ -1,144 +1,82 @@
-// Quickstart: build a topology with the public API, optimize its
-// execution plan with RLAS, and run it on the real engine.
+// Quickstart: declare a dataflow with the brisk::dsl fluent API and
+// hand it to brisk::Job, which profiles every operator, optimizes the
+// execution plan with RLAS, deploys it on the engine under NUMA
+// emulation, and reports one JobReport.
 //
 //   $ ./examples/quickstart
 //
 // The application is a small sensor pipeline: a source of readings, a
-// filter, an aggregator, and a sink. It demonstrates the three layers a
-// BriskStream user touches: the operator API, the RLAS optimizer, and
-// the runtime.
+// filter, a per-sensor running maximum, and a sink. Roughly 20 lines
+// of pipeline — the Storm-compatible layer the DSL lowers onto is
+// still available for operators that need it (see
+// examples/word_count_pipeline.cpp).
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
-#include "api/operator.h"
-#include "api/topology.h"
-#include "apps/common_ops.h"
-#include "engine/runtime.h"
-#include "hardware/machine_spec.h"
-#include "model/operator_profile.h"
-#include "optimizer/rlas.h"
+#include "api/dsl.h"
+#include "api/job.h"
+#include "apps/common_ops.h"  // apps::NowNs for origin timestamps
 
 using namespace brisk;
 
-namespace {
-
-/// A source producing synthetic temperature readings.
-class ReadingSpout : public api::Spout {
- public:
-  size_t NextBatch(size_t max_tuples, api::OutputCollector* out) override {
-    const int64_t now = apps::NowNs();
-    for (size_t i = 0; i < max_tuples; ++i) {
-      Tuple t;
-      t.fields.emplace_back(static_cast<int64_t>(seq_ % 16));  // sensor id
-      t.fields.emplace_back(15.0 + (seq_ % 100) * 0.3);        // celsius
-      t.origin_ts_ns = now;
-      ++seq_;
-      out->Emit(std::move(t));
-    }
-    return max_tuples;
-  }
-
- private:
-  uint64_t seq_ = 0;
-};
-
-/// Drops readings outside a plausible range.
-class RangeFilter : public api::Operator {
- public:
-  void Process(const Tuple& in, api::OutputCollector* out) override {
-    const double celsius = in.GetDouble(1);
-    if (celsius > -40.0 && celsius < 60.0) out->Emit(in);
-  }
-};
-
-/// Per-sensor running maximum; emits (sensor, max) per reading.
-class MaxAggregator : public api::Operator {
- public:
-  void Process(const Tuple& in, api::OutputCollector* out) override {
-    const int64_t sensor = in.GetInt(0);
-    const double celsius = in.GetDouble(1);
-    auto [it, _] = max_.try_emplace(sensor, celsius);
-    it->second = std::max(it->second, celsius);
-    Tuple t;
-    t.fields.emplace_back(sensor);
-    t.fields.emplace_back(it->second);
-    t.origin_ts_ns = in.origin_ts_ns;
-    out->Emit(std::move(t));
-  }
-
- private:
-  std::map<int64_t, double> max_;
-};
-
-}  // namespace
-
 int main() {
-  // 1. Declare the dataflow with the Storm-style builder.
   auto telemetry = std::make_shared<apps::SinkTelemetry>();
-  api::TopologyBuilder builder("quickstart");
-  builder.AddSpout("readings", [] { return std::make_unique<ReadingSpout>(); });
-  builder.AddBolt("filter", [] { return std::make_unique<RangeFilter>(); })
-      .ShuffleFrom("readings");
-  builder.AddBolt("max", [] { return std::make_unique<MaxAggregator>(); })
-      .FieldsFrom("filter", 0);  // partition state by sensor id
-  builder
-      .AddBolt("sink",
-               [telemetry] { return std::make_unique<apps::CountingSink>(telemetry); })
-      .ShuffleFrom("max");
-  auto topology = std::move(builder).Build();
-  if (!topology.ok()) {
-    std::fprintf(stderr, "build: %s\n", topology.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("%s", topology->ToString().c_str());
 
-  // 2. Give the optimizer per-operator cost profiles (profiled in a
-  // real deployment — see src/profiler; constants suffice here) and a
-  // machine description, and let RLAS pick replication + placement.
-  model::ProfileSet profiles;
-  profiles.Set("readings", model::OperatorProfile::Simple(400, 64, 24));
-  profiles.Set("filter", model::OperatorProfile::Simple(300, 48, 24, 0.99));
-  profiles.Set("max", model::OperatorProfile::Simple(900, 96, 24));
-  profiles.Set("sink", model::OperatorProfile::Simple(120, 24, 8, 0.0));
+  dsl::Pipeline pipeline("quickstart");
+  pipeline
+      .Source("readings",
+              [](const api::OperatorContext&) {
+                // One generator per replica; mutable captures are
+                // replica-local state.
+                return [seq = uint64_t{0}](size_t max_tuples,
+                                           dsl::Collector& out) mutable {
+                  const int64_t now = apps::NowNs();
+                  for (size_t i = 0; i < max_tuples; ++i, ++seq) {
+                    Tuple t;
+                    t.fields = {Field(static_cast<int64_t>(seq % 16)),
+                                Field(15.0 + (seq % 100) * 0.3)};
+                    t.origin_ts_ns = now;
+                    out.Emit(std::move(t));
+                  }
+                  return max_tuples;
+                };
+              })
+      .Filter("filter",
+              [](const Tuple& t) {
+                const double celsius = t.GetDouble(1);
+                return celsius > -40.0 && celsius < 60.0;
+              })
+      .KeyBy(0)  // partition per-sensor state by sensor id
+      .Aggregate<double>("max", -1e300,
+                         [](double& running_max, const Tuple& in,
+                            dsl::Collector& out) {
+                           running_max =
+                               std::max(running_max, in.GetDouble(1));
+                           out.Emit(in, {in.fields[0], Field(running_max)});
+                         })
+      .Sink("sink", [telemetry](const Tuple& in) {
+        telemetry->RecordTuple(in.origin_ts_ns, apps::NowNs());
+      });
 
-  const hw::MachineSpec machine = hw::MachineSpec::ServerB();
-  opt::RlasOptimizer optimizer(&machine, &profiles);
-  auto plan = optimizer.Optimize(*topology);
-  if (!plan.ok()) {
-    std::fprintf(stderr, "optimize: %s\n", plan.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("\nRLAS plan (%d scaling iterations, %.3f s):\n%s",
-              plan->scaling_iterations, plan->optimize_seconds,
-              plan->plan.ToString().c_str());
-  std::printf("predicted throughput: %.0f tuples/s\n",
-              plan->model.throughput);
+  // One call: profile → RLAS optimize → deploy with NUMA emulation →
+  // run for a second → report.
+  profiler::ProfilerConfig pcfg;
+  pcfg.samples = 5000;  // a quick calibration pass for the demo
+  pcfg.warmup_samples = 500;
+  engine::EngineConfig ecfg = engine::EngineConfig::Brisk();
+  ecfg.numa_emulation = true;
 
-  // 3. Deploy on the real engine for one second. The optimized plan
-  // above targets an 8-socket server; for this demo host we deploy the
-  // base (one replica per operator) plan — the plan you would ship is
-  // the optimized one.
-  auto local_plan = model::ExecutionPlan::CreateDefault(&*topology);
-  if (!local_plan.ok()) return 1;
-  local_plan->PlaceAllOn(0);
-  auto runtime = engine::BriskRuntime::Create(&*topology, *local_plan,
-                                              engine::EngineConfig::Brisk());
-  if (!runtime.ok()) {
-    std::fprintf(stderr, "deploy: %s\n", runtime.status().ToString().c_str());
+  auto report = Job::Of(std::move(pipeline))
+                    .WithProfiler(pcfg)
+                    .WithConfig(ecfg)
+                    .WithTelemetry(telemetry)
+                    .Run(1.0);
+  if (!report.ok()) {
+    std::fprintf(stderr, "job: %s\n", report.status().ToString().c_str());
     return 1;
   }
-  auto stats = (*runtime)->RunFor(1.0);
-  if (!stats.ok()) {
-    std::fprintf(stderr, "run: %s\n", stats.status().ToString().c_str());
-    return 1;
-  }
-  const Histogram latency = telemetry->LatencySnapshot();
-  std::printf(
-      "\nran %.2f s on %d tasks: %llu results at the sink "
-      "(%.0f tuples/s), p99 latency %.2f ms\n",
-      stats->duration_s, (*runtime)->num_tasks(),
-      static_cast<unsigned long long>(telemetry->count()),
-      telemetry->count() / stats->duration_s,
-      latency.Percentile(0.99) / 1e6);
-  return 0;
+  std::printf("%s", report->topology->ToString().c_str());
+  std::printf("%s", report->ToString().c_str());
+  return report->sink_tuples > 0 ? 0 : 1;
 }

@@ -1,0 +1,261 @@
+#include "api/dsl.h"
+
+#include <cstring>
+
+namespace brisk::dsl {
+
+namespace {
+
+/// Synthesized Spout around a user source lambda. The factory runs at
+/// Prepare so it sees the replica context (per-replica seeding); the
+/// context's output_streams is the authoritative stream-name table.
+class LambdaSpout final : public api::Spout {
+ public:
+  explicit LambdaSpout(SourceFactory factory)
+      : factory_(std::move(factory)) {}
+
+  Status Prepare(const api::OperatorContext& ctx) override {
+    if (!factory_) {
+      return Status::InvalidArgument("source '" + ctx.operator_name +
+                                     "' has an empty factory");
+    }
+    streams_ = ctx.output_streams;
+    fn_ = factory_(ctx);
+    if (!fn_) {
+      return Status::InvalidArgument("source factory for '" +
+                                     ctx.operator_name +
+                                     "' returned an empty function");
+    }
+    return Status::OK();
+  }
+
+  size_t NextBatch(size_t max_tuples, api::OutputCollector* out) override {
+    Collector c(out, &streams_);
+    return fn_(max_tuples, c);
+  }
+
+ private:
+  SourceFactory factory_;
+  SourceFn fn_;
+  std::vector<std::string> streams_;
+};
+
+/// Synthesized Operator around a user process lambda.
+class LambdaBolt final : public api::Operator {
+ public:
+  explicit LambdaBolt(ProcessFactory factory)
+      : factory_(std::move(factory)) {}
+
+  Status Prepare(const api::OperatorContext& ctx) override {
+    if (!factory_) {
+      return Status::InvalidArgument("operator '" + ctx.operator_name +
+                                     "' has an empty factory");
+    }
+    streams_ = ctx.output_streams;
+    fn_ = factory_(ctx);
+    if (!fn_) {
+      return Status::InvalidArgument("factory for '" + ctx.operator_name +
+                                     "' returned an empty function");
+    }
+    return Status::OK();
+  }
+
+  void Process(const Tuple& in, api::OutputCollector* out) override {
+    Collector c(out, &streams_);
+    fn_(in, c);
+  }
+
+ private:
+  ProcessFactory factory_;
+  ProcessFn fn_;
+  std::vector<std::string> streams_;
+};
+
+}  // namespace
+
+bool Collector::EmitTo(const std::string& stream, Tuple t) {
+  const int id = api::FindStreamId(*streams_, stream);
+  if (id < 0) return false;
+  out_->EmitTo(static_cast<uint16_t>(id), std::move(t));
+  return true;
+}
+
+namespace detail {
+
+std::string KeyOf(const Field& f) {
+  switch (f.index()) {
+    case 0: {
+      const int64_t v = f.AsInt();
+      std::string key(1 + sizeof(v), 'i');
+      std::memcpy(&key[1], &v, sizeof(v));
+      return key;
+    }
+    case 1: {
+      const double v = f.AsDouble();
+      std::string key(1 + sizeof(v), 'd');
+      std::memcpy(&key[1], &v, sizeof(v));
+      return key;
+    }
+    default: {
+      const std::string_view s = f.AsString();
+      std::string key;
+      key.reserve(1 + s.size());
+      key.push_back('s');
+      key.append(s);
+      return key;
+    }
+  }
+}
+
+}  // namespace detail
+
+Stream Stream::Attach(const std::string& name, ProcessFactory factory,
+                      api::GroupingType grouping, size_t key_field) const {
+  Pipeline::Node node;
+  node.name = name;
+  node.process = std::move(factory);
+  node.subs.push_back({node_, stream_, grouping, key_field});
+  const int id = pipe_->AddNode(std::move(node));
+  return Stream(pipe_, id, "default");
+}
+
+Stream Stream::Process(const std::string& name, ProcessFactory factory) const {
+  return Attach(name, std::move(factory), grouping_, key_field_);
+}
+
+Stream Stream::FlatMap(const std::string& name, ProcessFn fn) const {
+  return Process(name, [fn = std::move(fn)](const api::OperatorContext&) {
+    return fn;  // copied per replica: mutable captures are replica-local
+  });
+}
+
+Stream Stream::Map(const std::string& name, MapFn fn) const {
+  return Process(name, [fn = std::move(fn)](const api::OperatorContext&) {
+    return ProcessFn([fn](const Tuple& in, Collector& out) {
+      Tuple t = fn(in);
+      if (t.origin_ts_ns == 0) t.origin_ts_ns = in.origin_ts_ns;
+      out.Emit(std::move(t));
+    });
+  });
+}
+
+Stream Stream::Filter(const std::string& name, FilterFn fn) const {
+  return Process(name, [fn = std::move(fn)](const api::OperatorContext&) {
+    return ProcessFn([fn](const Tuple& in, Collector& out) {
+      if (fn(in)) out.Emit(in);
+    });
+  });
+}
+
+KeyedStream Stream::KeyBy(size_t field) const {
+  return KeyedStream(*this, field);
+}
+
+Stream Stream::Broadcast() const {
+  Stream s = *this;
+  s.grouping_ = api::GroupingType::kBroadcast;
+  return s;
+}
+
+Stream Stream::Global() const {
+  Stream s = *this;
+  s.grouping_ = api::GroupingType::kGlobal;
+  return s;
+}
+
+Stream Stream::Shuffle() const {
+  Stream s = *this;
+  s.grouping_ = api::GroupingType::kShuffle;
+  return s;
+}
+
+Stream Stream::Sink(const std::string& name, SinkFn fn) const {
+  return Process(name, [fn = std::move(fn)](const api::OperatorContext&) {
+    return ProcessFn(
+        [fn](const Tuple& in, Collector&) { fn(in); });  // terminal
+  });
+}
+
+Stream Stream::Parallelism(int n) const {
+  pipe_->nodes_[node_].parallelism = n;
+  return *this;
+}
+
+Stream Stream::SideOutput(const std::string& stream) const {
+  auto& streams = pipe_->nodes_[node_].streams;
+  if (api::FindStreamId(streams, stream) < 0) streams.push_back(stream);
+  return Stream(pipe_, node_, stream);
+}
+
+Stream Pipeline::Source(const std::string& name, SourceFactory factory) {
+  Node node;
+  node.name = name;
+  node.is_source = true;
+  node.source = std::move(factory);
+  return Stream(this, AddNode(std::move(node)), "default");
+}
+
+Stream Pipeline::Source(const std::string& name, SourceFn fn) {
+  return Source(name, SourceFactory([fn = std::move(fn)](
+                          const api::OperatorContext&) { return fn; }));
+}
+
+Stream Pipeline::Source(const std::string& name, api::SpoutFactory spout) {
+  Node node;
+  node.name = name;
+  node.is_source = true;
+  node.spout = std::move(spout);
+  return Stream(this, AddNode(std::move(node)), "default");
+}
+
+StatusOr<api::Topology> Pipeline::Build() && {
+  api::TopologyBuilder b(name_);
+  for (auto& node : nodes_) {
+    if (node.is_source) {
+      api::SpoutFactory factory;
+      if (node.spout) {
+        factory = std::move(node.spout);
+      } else {
+        factory =
+            [src = std::move(node.source)]() -> std::unique_ptr<api::Spout> {
+          return std::make_unique<LambdaSpout>(src);
+        };
+      }
+      auto declarer = b.AddSpout(node.name, std::move(factory),
+                                 node.parallelism);
+      for (size_t i = 1; i < node.streams.size(); ++i) {
+        declarer.DeclareStream(node.streams[i]);
+      }
+    } else {
+      api::OperatorFactory factory =
+          [pf = std::move(node.process)]() -> std::unique_ptr<api::Operator> {
+        return std::make_unique<LambdaBolt>(pf);
+      };
+      auto declarer =
+          b.AddBolt(node.name, std::move(factory), node.parallelism);
+      for (size_t i = 1; i < node.streams.size(); ++i) {
+        declarer.DeclareStream(node.streams[i]);
+      }
+      for (const auto& sub : node.subs) {
+        const std::string& producer = nodes_[sub.producer].name;
+        switch (sub.grouping) {
+          case api::GroupingType::kShuffle:
+            declarer.ShuffleFrom(producer, sub.stream);
+            break;
+          case api::GroupingType::kFields:
+            declarer.FieldsFrom(producer, sub.key_field, sub.stream);
+            break;
+          case api::GroupingType::kBroadcast:
+            declarer.BroadcastFrom(producer, sub.stream);
+            break;
+          case api::GroupingType::kGlobal:
+            declarer.GlobalFrom(producer, sub.stream);
+            break;
+        }
+      }
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace brisk::dsl

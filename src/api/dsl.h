@@ -1,0 +1,299 @@
+// brisk::dsl — a typed, fluent dataflow layer over the Storm-style API.
+//
+// A Pipeline is written as a chain of verbs on Stream handles and
+// *lowers* onto the validated api::Topology (§2.2's operator/stream
+// DAG), so the profiler, the RLAS optimizer, the simulator, and the
+// engine consume DSL programs unchanged. Each verb maps onto a paper
+// concept:
+//
+//   DSL verb                     | Topology lowering (paper anchor)
+//   -----------------------------+------------------------------------
+//   Pipeline::Source(...)        | spout vertex (§2.2 "Spout")
+//   .Map / .Filter / .FlatMap    | bolt vertex, shuffle-grouped input
+//                                | (§2.2 "shuffle grouping")
+//   .KeyBy(f).Aggregate(init,fn) | stateful bolt, fields grouping
+//                                | hashed on field f (§2.2 "fields
+//                                | grouping" — state partitioning)
+//   .Broadcast() / .Global()     | broadcast / global grouping on the
+//                                | next attached consumer
+//   .SideOutput("name")          | named output stream (App. A's
+//                                | declareStream), id resolved by name
+//   .Parallelism(n)              | base replication the optimizer's
+//                                | Algorithm 1 scales from (§4)
+//   .Sink(...)                   | terminal bolt; the throughput
+//                                | measurement point (§2.2)
+//
+// User code is plain lambdas; the lowering synthesizes Spout/Operator
+// adapters around them. Per-replica state is natural: every factory
+// runs once per replica at Prepare time, and plain-function forms are
+// copied per replica, so mutable captures are replica-local without
+// any synchronization (the engine's one-thread-per-instance contract).
+//
+// The DSL covers single-input chains with fan-out (attach several
+// consumers to one Stream handle) and named side outputs. Multi-input
+// operators (Linear Road's toll_notify) remain the Storm-compatible
+// layer's domain — build those with api::TopologyBuilder and run them
+// through the same Job facade.
+//
+// Lifetime: Stream/KeyedStream handles borrow the Pipeline and are
+// invalidated when it is moved (e.g. into Job::Of) or destroyed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "api/operator.h"
+#include "api/topology.h"
+#include "common/status.h"
+#include "common/tuple.h"
+
+namespace brisk::dsl {
+
+class Pipeline;
+class Stream;
+class KeyedStream;
+
+/// Output sink handed to DSL lambdas: api::OutputCollector plus the
+/// operator's declared stream names, so side outputs are addressed by
+/// name instead of raw stream ids.
+class Collector {
+ public:
+  Collector(api::OutputCollector* out, const std::vector<std::string>* streams)
+      : out_(out), streams_(streams) {}
+
+  /// Emits on the default stream.
+  void Emit(Tuple t) { out_->Emit(std::move(t)); }
+
+  /// Emits `fields` on the default stream, carrying `from`'s origin
+  /// timestamp so end-to-end latency accounting survives the hop.
+  void Emit(const Tuple& from, std::initializer_list<Field> fields) {
+    out_->Emit(Derive(from, fields));
+  }
+
+  /// Emits on a named side-output stream (declared with
+  /// Stream::SideOutput). Returns false — and drops the tuple — when
+  /// this operator declares no such stream. Resolution is a linear
+  /// scan over the (few) declared names per call; hot side-output
+  /// paths should resolve once at Prepare (OperatorContext::StreamId
+  /// inside a Process/Source factory) and use the id overload.
+  bool EmitTo(const std::string& stream, Tuple t);
+  bool EmitTo(const std::string& stream, const Tuple& from,
+              std::initializer_list<Field> fields) {
+    return EmitTo(stream, Derive(from, fields));
+  }
+
+  /// Emits on a stream id resolved earlier — no per-tuple name lookup.
+  void EmitTo(uint16_t stream_id, Tuple t) {
+    out_->EmitTo(stream_id, std::move(t));
+  }
+
+ private:
+  static Tuple Derive(const Tuple& from, std::initializer_list<Field> fields) {
+    Tuple t(fields);
+    t.origin_ts_ns = from.origin_ts_ns;
+    return t;
+  }
+
+  api::OutputCollector* out_;
+  const std::vector<std::string>* streams_;
+};
+
+/// Source body: produce up to `max_tuples`, return how many (0 ends a
+/// bounded source). The source stamps Tuple::origin_ts_ns itself.
+using SourceFn = std::function<size_t(size_t max_tuples, Collector& out)>;
+/// Builds one SourceFn per replica at Prepare time (per-replica
+/// seeding via ctx.replica_index).
+using SourceFactory = std::function<SourceFn(const api::OperatorContext&)>;
+
+/// General bolt body: zero or more emits per input tuple.
+using ProcessFn = std::function<void(const Tuple& in, Collector& out)>;
+/// Builds one ProcessFn per replica at Prepare time.
+using ProcessFactory = std::function<ProcessFn(const api::OperatorContext&)>;
+
+/// One-to-one transform; the result inherits the input's origin
+/// timestamp unless the lambda set one.
+using MapFn = std::function<Tuple(const Tuple& in)>;
+/// Keep-predicate: true forwards the tuple unchanged.
+using FilterFn = std::function<bool(const Tuple& in)>;
+/// Terminal consumer (telemetry, side effects); emits nothing.
+using SinkFn = std::function<void(const Tuple& in)>;
+
+namespace detail {
+/// Canonical map key for a tuple field (type-tagged so int 0x73... and
+/// a string of the same bytes never collide).
+std::string KeyOf(const Field& f);
+}  // namespace detail
+
+/// Handle to one operator's output stream plus the grouping the *next*
+/// attached consumer subscribes with (shuffle unless overridden).
+/// Cheap value type; borrows the Pipeline.
+class Stream {
+ public:
+  /// The general verb: attaches a bolt built by `factory` (one
+  /// ProcessFn per replica). Every other verb lowers onto this.
+  Stream Process(const std::string& name, ProcessFactory factory) const;
+
+  /// Attaches a bolt running `fn` per input tuple. The function object
+  /// is copied per replica, so mutable captures are replica-local.
+  Stream FlatMap(const std::string& name, ProcessFn fn) const;
+
+  /// Attaches a one-to-one transform.
+  Stream Map(const std::string& name, MapFn fn) const;
+
+  /// Attaches a filter forwarding tuples `fn` accepts.
+  Stream Filter(const std::string& name, FilterFn fn) const;
+
+  /// Keys the stream by tuple field `field`: downstream state is
+  /// partitioned with fields grouping (same key → same replica).
+  KeyedStream KeyBy(size_t field) const;
+
+  /// Next attached consumer receives every tuple on every replica.
+  Stream Broadcast() const;
+  /// Next attached consumer receives all tuples on replica 0.
+  Stream Global() const;
+  /// Back to round-robin (the default).
+  Stream Shuffle() const;
+
+  /// Attaches a terminal consumer.
+  Stream Sink(const std::string& name, SinkFn fn) const;
+
+  /// Sets the base parallelism of the operator this stream leaves —
+  /// the replication level the optimizer scales from.
+  Stream Parallelism(int n) const;
+
+  /// Declares a named side-output stream on this operator (id 1+, in
+  /// declaration order) and returns a handle to it; tuples reach it
+  /// via Collector::EmitTo(name, ...).
+  Stream SideOutput(const std::string& stream) const;
+
+ private:
+  friend class Pipeline;
+  friend class KeyedStream;
+
+  Stream(Pipeline* pipe, int node, std::string stream)
+      : pipe_(pipe), node_(node), stream_(std::move(stream)) {}
+
+  Stream Attach(const std::string& name, ProcessFactory factory,
+                api::GroupingType grouping, size_t key_field) const;
+
+  Pipeline* pipe_;
+  int node_;
+  std::string stream_;  ///< producer stream this handle refers to
+  api::GroupingType grouping_ = api::GroupingType::kShuffle;
+  size_t key_field_ = 0;
+};
+
+/// A Stream keyed by one tuple field; produced by Stream::KeyBy.
+class KeyedStream {
+ public:
+  /// Attaches a stateful per-key aggregation: one `State` (copied from
+  /// `init`) per distinct key per replica, updated by `fn`, which also
+  /// decides what to emit. Fields grouping guarantees all tuples of a
+  /// key meet the same replica's state.
+  ///
+  /// State lives in one map keyed by a type-tagged byte string
+  /// (detail::KeyOf), built per input tuple. Int/double keys produce a
+  /// 9-byte SSO string (no heap), so the per-tuple cost over a
+  /// hand-keyed map is one small construction + hash; operators where
+  /// that matters can drop to KeyedStream::Process and key their own
+  /// state.
+  template <typename State>
+  Stream Aggregate(
+      const std::string& name, State init,
+      std::function<void(State&, const Tuple&, Collector&)> fn) const {
+    const size_t key = key_field_;
+    ProcessFactory factory = [init = std::move(init), fn = std::move(fn),
+                              key](const api::OperatorContext&) -> ProcessFn {
+      auto states =
+          std::make_shared<std::unordered_map<std::string, State>>();
+      return [states, init, fn, key](const Tuple& in, Collector& out) {
+        auto [it, fresh] =
+            states->try_emplace(detail::KeyOf(in.fields[key]), init);
+        (void)fresh;
+        fn(it->second, in, out);
+      };
+    };
+    return base_.Attach(name, std::move(factory),
+                        api::GroupingType::kFields, key);
+  }
+
+  /// General fields-grouped bolt (state partitioning without the
+  /// per-key map Aggregate maintains).
+  Stream Process(const std::string& name, ProcessFactory factory) const {
+    return base_.Attach(name, std::move(factory),
+                        api::GroupingType::kFields, key_field_);
+  }
+
+ private:
+  friend class Stream;
+  KeyedStream(Stream base, size_t key_field)
+      : base_(base), key_field_(key_field) {}
+
+  Stream base_;
+  size_t key_field_;
+};
+
+/// A dataflow program under construction. Create, chain verbs from
+/// Source(...), then Build() (or hand the whole Pipeline to Job::Of,
+/// which builds it for you).
+class Pipeline {
+ public:
+  explicit Pipeline(std::string name) : name_(std::move(name)) {}
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+  /// Moving is allowed (Job::Of takes the Pipeline by value) but
+  /// invalidates outstanding Stream handles.
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  /// Adds a lambda source; `factory` builds one SourceFn per replica.
+  Stream Source(const std::string& name, SourceFactory factory);
+  /// Adds a stateless-construction source (the function object is
+  /// copied per replica).
+  Stream Source(const std::string& name, SourceFn fn);
+  /// Interop: mounts an existing Storm-layer Spout implementation as a
+  /// DSL source.
+  Stream Source(const std::string& name, api::SpoutFactory spout);
+
+  /// Lowers the pipeline onto a validated api::Topology. All builder
+  /// misuse (duplicate names, empty pipeline, ...) surfaces here, with
+  /// the same deferred-error contract as TopologyBuilder::Build.
+  StatusOr<api::Topology> Build() &&;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Stream;
+
+  struct Sub {
+    int producer;
+    std::string stream;
+    api::GroupingType grouping;
+    size_t key_field;
+  };
+  struct Node {
+    std::string name;
+    bool is_source = false;
+    api::SpoutFactory spout;   // interop source
+    SourceFactory source;      // lambda source
+    ProcessFactory process;    // bolts and sinks
+    int parallelism = 1;
+    std::vector<std::string> streams{"default"};
+    std::vector<Sub> subs;
+  };
+
+  int AddNode(Node node) {
+    nodes_.push_back(std::move(node));
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  std::string name_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace brisk::dsl

@@ -1,0 +1,199 @@
+#include "api/job.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "optimizer/baselines.h"
+
+namespace brisk {
+
+const char* PlannerName(Planner planner) {
+  switch (planner) {
+    case Planner::kRlas:
+      return "RLAS";
+    case Planner::kFirstFit:
+      return "FF";
+    case Planner::kRoundRobin:
+      return "RR";
+    case Planner::kOsDefault:
+      return "OS";
+  }
+  return "?";
+}
+
+std::string JobReport::ToString() const {
+  std::ostringstream os;
+  os << "Job '" << job_name << "' — planner " << PlannerName(planner)
+     << (profiled ? ", profiled" : ", supplied profiles") << "\n";
+  os << plan.ToString();
+  os << "predicted throughput: " << model.throughput << " tuples/s";
+  if (scaling_iterations > 0) {
+    os << " (" << scaling_iterations << " scaling iterations, "
+       << optimize_seconds << " s to optimize)";
+  }
+  os << "\n";
+  if (stats.duration_s > 0.0) {
+    os << "ran " << stats.duration_s << " s on " << stats.tasks.size()
+       << " tasks: " << sink_tuples << " tuples at the sink ("
+       << sink_throughput_tps() << " tuples/s), p99 latency "
+       << sink_latency_ns.Percentile(0.99) / 1e6 << " ms\n";
+  }
+  return os.str();
+}
+
+Job Job::Of(dsl::Pipeline pipeline) {
+  Job job;
+  job.name_ = pipeline.name();
+  auto topo = std::move(pipeline).Build();
+  if (!topo.ok()) {
+    job.init_error_ = topo.status();
+  } else {
+    job.topo_ = std::make_shared<const api::Topology>(std::move(topo).value());
+  }
+  return job;
+}
+
+Job Job::Of(api::Topology topology) {
+  Job job;
+  job.name_ = topology.name();
+  job.topo_ = std::make_shared<const api::Topology>(std::move(topology));
+  return job;
+}
+
+Job Job::Of(std::shared_ptr<const api::Topology> topology) {
+  Job job;
+  if (topology == nullptr) {
+    job.init_error_ = Status::InvalidArgument("Job::Of: null topology");
+    return job;
+  }
+  job.name_ = topology->name();
+  job.topo_ = std::move(topology);
+  return job;
+}
+
+Job& Job::WithMachine(hw::MachineSpec machine) {
+  machine_ = std::move(machine);
+  return *this;
+}
+
+Job& Job::WithConfig(engine::EngineConfig config) {
+  config_ = config;
+  return *this;
+}
+
+Job& Job::WithPlanner(Planner planner) {
+  planner_ = planner;
+  return *this;
+}
+
+Job& Job::WithPlannerOptions(opt::RlasOptions options) {
+  options_ = std::move(options);
+  return *this;
+}
+
+Job& Job::WithProfiles(model::ProfileSet profiles) {
+  profiles_ = std::move(profiles);
+  return *this;
+}
+
+Job& Job::WithProfiler(profiler::ProfilerConfig config) {
+  profiler_config_ = config;
+  return *this;
+}
+
+Job& Job::WithTelemetry(std::shared_ptr<SinkTelemetry> telemetry) {
+  telemetry_ = std::move(telemetry);
+  return *this;
+}
+
+StatusOr<std::unique_ptr<Job::Deployment>> Job::Deploy() {
+  BRISK_RETURN_NOT_OK(init_error_);
+
+  auto deployment = std::unique_ptr<Deployment>(new Deployment());
+  deployment->topo_ = topo_;
+  deployment->telemetry_ = telemetry_;
+  JobReport& report = deployment->report_;
+  report.job_name = name_;
+  report.planner = planner_;
+  report.topology = topo_;
+
+  // 1. Operator cost profiles: supplied, or measured in isolation
+  // (§3.1) by the profiler.
+  if (profiles_.has_value()) {
+    report.profiles = *profiles_;
+  } else {
+    BRISK_ASSIGN_OR_RETURN(profiler::AppProfile app_profile,
+                           profiler::ProfileApp(*topo_, profiler_config_));
+    report.profiles = std::move(app_profile.profiles);
+    report.profiled = true;
+  }
+
+  // 2. Replication + placement with the selected planner. RLAS runs
+  // its joint scaling+placement search; every baseline shares one
+  // shape: base-parallelism plan -> placement heuristic -> evaluate.
+  const model::PerfModel perf_model(&machine_, &report.profiles);
+  const double rate = options_.placement.input_rate_tps;
+  if (planner_ == Planner::kRlas) {
+    const opt::RlasOptimizer optimizer(&machine_, &report.profiles, options_);
+    BRISK_ASSIGN_OR_RETURN(opt::RlasResult result, optimizer.Optimize(*topo_));
+    report.plan = std::move(result.plan);
+    report.model = std::move(result.model);
+    report.scaling_iterations = result.scaling_iterations;
+    report.optimize_seconds = result.optimize_seconds;
+  } else {
+    BRISK_ASSIGN_OR_RETURN(model::ExecutionPlan plan,
+                           model::ExecutionPlan::CreateDefault(topo_.get()));
+    auto place = [&]() -> StatusOr<model::ExecutionPlan> {
+      switch (planner_) {
+        case Planner::kFirstFit:
+          return opt::PlaceFirstFit(perf_model, std::move(plan), rate);
+        case Planner::kRoundRobin:
+          return opt::PlaceRoundRobin(machine_, std::move(plan));
+        default:
+          return opt::PlaceOsDefault(machine_, std::move(plan));
+      }
+    };
+    BRISK_ASSIGN_OR_RETURN(report.plan, place());
+    BRISK_ASSIGN_OR_RETURN(report.model,
+                           perf_model.Evaluate(report.plan, rate));
+  }
+
+  // 3. Deploy on the engine, with the NUMA emulator charging remote
+  // fetches when the config asks for it.
+  if (config_.numa_emulation) {
+    deployment->numa_ = std::make_unique<hw::NumaEmulator>(machine_);
+  }
+  BRISK_ASSIGN_OR_RETURN(
+      deployment->runtime_,
+      engine::BriskRuntime::Create(topo_.get(), report.plan, config_,
+                                   deployment->numa_.get()));
+
+  // Profiling pre-executes sink operators, which report into the same
+  // telemetry; reset so the report covers only the live run.
+  if (deployment->telemetry_) deployment->telemetry_->Reset();
+  BRISK_RETURN_NOT_OK(deployment->runtime_->Start());
+  return deployment;
+}
+
+StatusOr<JobReport> Job::Run(double seconds) {
+  BRISK_ASSIGN_OR_RETURN(std::unique_ptr<Deployment> deployment, Deploy());
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  return deployment->Stop();
+}
+
+Job::Deployment::~Deployment() = default;  // BriskRuntime stops itself
+
+const JobReport& Job::Deployment::Stop() {
+  if (stopped_) return report_;
+  stopped_ = true;
+  report_.stats = runtime_->Stop();
+  if (telemetry_) {
+    report_.sink_tuples = telemetry_->count();
+    report_.sink_latency_ns = telemetry_->LatencySnapshot();
+  }
+  return report_;
+}
+
+}  // namespace brisk

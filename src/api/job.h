@@ -1,0 +1,165 @@
+// brisk::Job — the one-call driver over the whole BriskStream stack.
+//
+// Job::Of(pipeline_or_topology)
+//     .WithMachine(spec)          // Table 2 server or a custom spec
+//     .WithConfig(engine_config)  // §5 engine modes, NUMA emulation
+//     .WithPlanner(Planner::kRlas)
+//     .Run(seconds);              // profile → optimize → deploy → report
+//
+// Run()/Deploy() internally execute the pipeline every caller used to
+// hand-wire: profile each operator in isolation (§3.1) unless profiles
+// were supplied, construct an execution plan with the selected planner
+// (RLAS, §4, or a §6.4 baseline), stand up the NUMA emulator when the
+// engine config asks for it, and drive BriskRuntime. The JobReport
+// bundles the plan, the model's prediction for it, the engine's
+// RunStats, and sink telemetry — the quantities the paper's figures
+// are built from.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "api/dsl.h"
+#include "api/topology.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/telemetry.h"
+#include "engine/config.h"
+#include "engine/runtime.h"
+#include "hardware/machine_spec.h"
+#include "hardware/numa_emulator.h"
+#include "model/execution_plan.h"
+#include "model/operator_profile.h"
+#include "model/perf_model.h"
+#include "optimizer/rlas.h"
+#include "profiler/profiler.h"
+
+namespace brisk {
+
+/// Plan-construction strategy: RLAS (§4) or one of the §6.4 baselines.
+enum class Planner { kRlas, kFirstFit, kRoundRobin, kOsDefault };
+
+const char* PlannerName(Planner planner);
+
+/// Everything one run produced, in one object.
+struct JobReport {
+  std::string job_name;
+  Planner planner = Planner::kRlas;
+
+  /// Keeps the plan's topology pointer valid for the report's lifetime.
+  std::shared_ptr<const api::Topology> topology;
+
+  /// True when the §3.1 profiler ran (no profiles were supplied).
+  bool profiled = false;
+  model::ProfileSet profiles;  ///< profiles the planner consumed
+
+  model::ExecutionPlan plan;
+  model::ModelResult model;  ///< the model's prediction for `plan`
+  int scaling_iterations = 0;  ///< RLAS Algorithm 1 rounds (0 = baseline)
+  double optimize_seconds = 0.0;
+
+  engine::RunStats stats;      ///< engine-side counters
+  uint64_t sink_tuples = 0;    ///< observed at the sink (§2.2's counter)
+  Histogram sink_latency_ns;   ///< sampled end-to-end latency
+
+  double sink_throughput_tps() const {
+    return stats.duration_s > 0 ? static_cast<double>(sink_tuples) /
+                                      stats.duration_s
+                                : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Fluent facade owning the profile → optimize → deploy pipeline.
+/// Every With* is optional; defaults are a CI-sized 2-socket machine,
+/// BriskStream's native engine config, and the RLAS planner.
+class Job {
+ public:
+  /// Lowers the DSL pipeline immediately; lowering errors surface from
+  /// Run()/Deploy().
+  static Job Of(dsl::Pipeline pipeline);
+  static Job Of(api::Topology topology);
+  static Job Of(std::shared_ptr<const api::Topology> topology);
+
+  /// Hardware the planner optimizes for (and the NUMA emulator
+  /// charges). Default: MachineSpec::Symmetric(2, 4, 2.0, 100, 300,
+  /// 40, 12) — small enough that optimized plans run on CI hosts.
+  Job& WithMachine(hw::MachineSpec machine);
+
+  /// Engine execution mode (§5): batching, legacy overheads, NUMA
+  /// emulation, ingress rate. Default: EngineConfig::Brisk().
+  Job& WithConfig(engine::EngineConfig config);
+
+  Job& WithPlanner(Planner planner);
+
+  /// RLAS search knobs (replica ceiling, placement options). The
+  /// placement input rate also feeds the baseline planners.
+  Job& WithPlannerOptions(opt::RlasOptions options);
+
+  /// Supplies operator cost profiles, skipping the profiler stage.
+  Job& WithProfiles(model::ProfileSet profiles);
+
+  /// Profiler knobs for the auto-profiling stage.
+  Job& WithProfiler(profiler::ProfilerConfig config);
+
+  /// Telemetry the application's sinks report into; the report reads
+  /// tuple counts and latency from it. (DSL pipelines wire this into
+  /// their Sink lambdas; reset happens right before the engine starts
+  /// so profiler traffic is not counted.)
+  Job& WithTelemetry(std::shared_ptr<SinkTelemetry> telemetry);
+
+  /// A deployed, running job. Stop() joins the engine and finalizes
+  /// the report; the destructor stops implicitly.
+  class Deployment {
+   public:
+    ~Deployment();
+    Deployment(const Deployment&) = delete;
+    Deployment& operator=(const Deployment&) = delete;
+
+    /// Stops the engine (idempotent) and returns the full report.
+    const JobReport& Stop();
+
+    /// Report so far (plan + prediction; run stats only after Stop).
+    const JobReport& report() const { return report_; }
+
+    engine::BriskRuntime& runtime() { return *runtime_; }
+
+   private:
+    friend class Job;
+    Deployment() = default;
+
+    std::shared_ptr<const api::Topology> topo_;
+    std::shared_ptr<SinkTelemetry> telemetry_;
+    std::unique_ptr<hw::NumaEmulator> numa_;
+    std::unique_ptr<engine::BriskRuntime> runtime_;
+    bool stopped_ = false;
+    JobReport report_;
+  };
+
+  /// Profile → optimize → deploy, run `seconds` of wall-clock, stop,
+  /// report.
+  StatusOr<JobReport> Run(double seconds);
+
+  /// Profile → optimize → create and *start* the runtime; the caller
+  /// owns when to Stop().
+  StatusOr<std::unique_ptr<Deployment>> Deploy();
+
+ private:
+  Job() = default;
+
+  Status init_error_;  ///< deferred pipeline-lowering error
+  std::string name_;
+  std::shared_ptr<const api::Topology> topo_;
+  hw::MachineSpec machine_ =
+      hw::MachineSpec::Symmetric(2, 4, 2.0, 100, 300, 40, 12);
+  engine::EngineConfig config_ = engine::EngineConfig::Brisk();
+  Planner planner_ = Planner::kRlas;
+  opt::RlasOptions options_;
+  std::optional<model::ProfileSet> profiles_;
+  profiler::ProfilerConfig profiler_config_;
+  std::shared_ptr<SinkTelemetry> telemetry_;
+};
+
+}  // namespace brisk

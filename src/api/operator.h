@@ -6,15 +6,38 @@
 // optimizer.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/tuple.h"
 
 namespace brisk::api {
+
+/// Index of `stream` in a declared-output-streams list, -1 when absent
+/// — the one stream-name→id lookup every layer shares.
+inline int FindStreamId(const std::vector<std::string>& streams,
+                        const std::string& stream) {
+  const auto it = std::find(streams.begin(), streams.end(), stream);
+  return it == streams.end() ? -1 : static_cast<int>(it - streams.begin());
+}
+
+/// FindStreamId with the uniform NotFound diagnostic naming the
+/// stream's owner.
+inline StatusOr<uint16_t> ResolveStreamId(
+    const std::vector<std::string>& streams, const std::string& owner,
+    const std::string& stream) {
+  const int id = FindStreamId(streams, stream);
+  if (id < 0) {
+    return Status::NotFound("operator '" + owner + "' declares no stream '" +
+                            stream + "'");
+  }
+  return static_cast<uint16_t>(id);
+}
 
 /// Runtime information handed to an operator instance at Prepare time.
 struct OperatorContext {
@@ -26,6 +49,16 @@ struct OperatorContext {
   int num_replicas = 1;
   /// Virtual socket this instance is placed on (-1 if unplaced).
   int socket = -1;
+  /// Declared output stream names of this operator; index is the
+  /// stream id EmitTo takes (0 = "default").
+  std::vector<std::string> output_streams;
+
+  /// Stream id of a declared output stream, by name — operators that
+  /// route to named streams resolve ids here at Prepare time instead of
+  /// hard-coding declaration order.
+  StatusOr<uint16_t> StreamId(const std::string& stream) const {
+    return ResolveStreamId(output_streams, operator_name, stream);
+  }
 };
 
 /// Sink for tuples an operator emits during Process/NextBatch.

@@ -21,28 +21,16 @@ const char* GroupingTypeName(GroupingType g) {
   return "?";
 }
 
+StatusOr<uint16_t> OperatorDecl::StreamId(const std::string& stream) const {
+  return ResolveStreamId(output_streams, name, stream);
+}
+
 StatusOr<int> Topology::OpId(const std::string& name) const {
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("no operator named '" + name + "'");
   }
   return it->second;
-}
-
-std::vector<StreamEdge> Topology::InEdges(int op) const {
-  std::vector<StreamEdge> out;
-  for (const auto& e : edges_) {
-    if (e.consumer_op == op) out.push_back(e);
-  }
-  return out;
-}
-
-std::vector<StreamEdge> Topology::OutEdges(int op) const {
-  std::vector<StreamEdge> out;
-  for (const auto& e : edges_) {
-    if (e.producer_op == op) out.push_back(e);
-  }
-  return out;
 }
 
 std::string Topology::ToString() const {
@@ -116,14 +104,29 @@ TopologyBuilder::BoltDeclarer& TopologyBuilder::BoltDeclarer::GlobalFrom(
 
 TopologyBuilder::BoltDeclarer& TopologyBuilder::BoltDeclarer::DeclareStream(
     const std::string& stream) {
-  parent_->ops_[op_id_].output_streams.push_back(stream);
+  parent_->DeclareStreamOn(op_id_, stream);
   return *this;
 }
 
 TopologyBuilder::SpoutDeclarer& TopologyBuilder::SpoutDeclarer::DeclareStream(
     const std::string& stream) {
-  parent_->ops_[op_id_].output_streams.push_back(stream);
+  parent_->DeclareStreamOn(op_id_, stream);
   return *this;
+}
+
+void TopologyBuilder::DeclareStreamOn(int op_id, const std::string& stream) {
+  auto& streams = ops_[op_id].output_streams;
+  if (FindStreamId(streams, stream) >= 0) {
+    // Builder-time misuse: recorded here, surfaced at Build() — the
+    // declarer chain cannot report a Status mid-fluent-call.
+    if (deferred_error_.ok()) {
+      deferred_error_ = Status::AlreadyExists(
+          "operator '" + ops_[op_id].name + "' declares stream '" + stream +
+          "' twice");
+    }
+    return;
+  }
+  streams.push_back(stream);
 }
 
 StatusOr<Topology> TopologyBuilder::Build() && {
@@ -166,15 +169,11 @@ StatusOr<Topology> TopologyBuilder::Build() && {
       return Status::InvalidArgument("operator '" + sub.producer +
                                      "' subscribes to itself");
     }
-    const auto& streams = ops_[producer_id].output_streams;
-    auto sit = std::find(streams.begin(), streams.end(), sub.stream);
-    if (sit == streams.end()) {
-      return Status::NotFound("producer '" + sub.producer +
-                              "' declares no stream '" + sub.stream + "'");
-    }
     Subscription s;
     s.producer_op = producer_id;
-    s.stream_id = static_cast<uint16_t>(sit - streams.begin());
+    BRISK_ASSIGN_OR_RETURN(
+        s.stream_id, ResolveStreamId(ops_[producer_id].output_streams,
+                                     sub.producer, sub.stream));
     s.grouping = sub.grouping;
     s.key_field = sub.key_field;
     topo.ops_[sub.consumer_op].inputs.push_back(s);
@@ -242,6 +241,15 @@ StatusOr<Topology> TopologyBuilder::Build() && {
   }
   if (static_cast<int>(topo.topo_order_.size()) != n) {
     return Status::InvalidArgument("topology contains a cycle");
+  }
+
+  // Adjacency, both directions, so InEdges/OutEdges are O(1) lookups in
+  // the optimizer's inner loops.
+  topo.in_edges_.resize(n);
+  topo.out_edges_.resize(n);
+  for (const auto& e : topo.edges_) {
+    topo.in_edges_[e.consumer_op].push_back(e);
+    topo.out_edges_[e.producer_op].push_back(e);
   }
 
   return topo;

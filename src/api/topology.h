@@ -50,6 +50,13 @@ struct OperatorDecl {
 
   /// Initial replication level (the optimizer may raise it).
   int base_parallelism = 1;
+
+  /// Stream id of a declared output stream, by name. Code that routes
+  /// to named streams should resolve ids through this (or through
+  /// OperatorContext::StreamId at Prepare time) instead of hard-coding
+  /// declaration order — a silent-misroute footgun when streams are
+  /// added or reordered.
+  StatusOr<uint16_t> StreamId(const std::string& stream) const;
 };
 
 /// A directed edge in stream granularity: producer stream → consumer.
@@ -75,10 +82,16 @@ class Topology {
   /// All edges, producer-major.
   const std::vector<StreamEdge>& edges() const { return edges_; }
 
-  /// Edges whose consumer is `op`.
-  std::vector<StreamEdge> InEdges(int op) const;
-  /// Edges whose producer is `op`.
-  std::vector<StreamEdge> OutEdges(int op) const;
+  /// Edges whose consumer is `op`. Consumer-major adjacency is
+  /// precomputed at Build() — these are O(1) and allocation-free, as
+  /// the optimizer's inner loops call them per model evaluation.
+  const std::vector<StreamEdge>& InEdges(int op) const {
+    return in_edges_[op];
+  }
+  /// Edges whose producer is `op` (precomputed, see InEdges).
+  const std::vector<StreamEdge>& OutEdges(int op) const {
+    return out_edges_[op];
+  }
 
   /// Operator ids of spouts / sinks (no out-edges).
   const std::vector<int>& spouts() const { return spouts_; }
@@ -95,6 +108,8 @@ class Topology {
   std::string name_;
   std::vector<OperatorDecl> ops_;
   std::vector<StreamEdge> edges_;
+  std::vector<std::vector<StreamEdge>> in_edges_;   // consumer-major
+  std::vector<std::vector<StreamEdge>> out_edges_;  // producer-major
   std::vector<int> spouts_;
   std::vector<int> sinks_;
   std::vector<int> topo_order_;
@@ -161,6 +176,8 @@ class TopologyBuilder {
  private:
   friend class BoltDeclarer;
   friend class SpoutDeclarer;
+
+  void DeclareStreamOn(int op_id, const std::string& stream);
 
   struct PendingSub {
     int consumer_op;

@@ -42,7 +42,7 @@ StatusOr<AppBundle> MakeApp(AppId id) {
   switch (id) {
     case AppId::kWordCount: {
       BRISK_ASSIGN_OR_RETURN(api::Topology t,
-                             BuildWordCount(bundle.telemetry));
+                             BuildWordCountDsl(bundle.telemetry));
       bundle.topology_ptr = std::make_shared<api::Topology>(std::move(t));
       bundle.profiles = WordCountProfiles();
       break;
@@ -56,7 +56,7 @@ StatusOr<AppBundle> MakeApp(AppId id) {
     }
     case AppId::kSpikeDetection: {
       BRISK_ASSIGN_OR_RETURN(api::Topology t,
-                             BuildSpikeDetection(bundle.telemetry));
+                             BuildSpikeDetectionDsl(bundle.telemetry));
       bundle.topology_ptr = std::make_shared<api::Topology>(std::move(t));
       bundle.profiles = SpikeDetectionProfiles();
       break;

@@ -16,8 +16,7 @@ void CountingSink::Process(const Tuple& in, api::OutputCollector* out) {
 }
 
 void ValidatingParser::Process(const Tuple& in, api::OutputCollector* out) {
-  if (!in.fields.empty() && in.fields[0].is_string() &&
-      in.fields[0].AsString().empty()) {
+  if (!ParserKeeps(in)) {
     ++dropped_;
     return;
   }

@@ -2,51 +2,18 @@
 // and pass-through parsers.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "api/operator.h"
-#include "common/histogram.h"
+#include "common/telemetry.h"
 
 namespace brisk::apps {
 
-/// Shared telemetry all sink replicas of one run report into. The
-/// tuple counter is the throughput measurement point (§2.2: "Sink
-/// increments a counter each time it receives tuple... which we use to
-/// monitor the performance"); latency is sampled to keep the hot path
-/// cheap.
-class SinkTelemetry {
- public:
-  void RecordTuple(int64_t origin_ts_ns, int64_t now_ns) {
-    const uint64_t n = count_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (origin_ts_ns > 0 && (n & (kLatencySampleEvery - 1)) == 0) {
-      std::lock_guard<std::mutex> lock(mu_);
-      latency_ns_.Add(static_cast<double>(now_ns - origin_ts_ns));
-    }
-  }
-
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-
-  Histogram LatencySnapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return latency_ns_;
-  }
-
-  void Reset() {
-    count_.store(0);
-    std::lock_guard<std::mutex> lock(mu_);
-    latency_ns_.Reset();
-  }
-
- private:
-  static constexpr uint64_t kLatencySampleEvery = 32;  // power of two
-
-  std::atomic<uint64_t> count_{0};
-  mutable std::mutex mu_;
-  Histogram latency_ns_;
-};
+/// The apps historically named this apps::SinkTelemetry; the class now
+/// lives in common/telemetry.h so the generic api layer (Job, DSL
+/// examples) can use it without depending on the apps module.
+using ::brisk::SinkTelemetry;
 
 /// Terminal operator: counts tuples and samples end-to-end latency.
 class CountingSink : public api::Operator {
@@ -59,6 +26,14 @@ class CountingSink : public api::Operator {
  private:
   std::shared_ptr<SinkTelemetry> telemetry_;
 };
+
+/// The parser keep-predicate: a tuple is valid unless its first field
+/// is an empty string. One source of truth for ValidatingParser and
+/// the DSL twins' Filter("parser", ...) stages.
+inline bool ParserKeeps(const Tuple& t) {
+  return t.fields.empty() || !t.fields[0].is_string() ||
+         !t.fields[0].AsString().empty();
+}
 
 /// Validating pass-through (the Parser every app starts with): drops
 /// tuples whose first field is an empty string, forwards the rest.

@@ -42,16 +42,22 @@ size_t LinearRoadSpout::NextBatch(size_t max_tuples,
   return max_tuples;
 }
 
+Status LrDispatcher::Prepare(const api::OperatorContext& ctx) {
+  BRISK_ASSIGN_OR_RETURN(balance_stream_, ctx.StreamId("balance_stream"));
+  BRISK_ASSIGN_OR_RETURN(daily_stream_, ctx.StreamId("daily_exp_request"));
+  return Status::OK();
+}
+
 void LrDispatcher::Process(const Tuple& in, api::OutputCollector* out) {
   switch (in.GetInt(0)) {
     case kLrPosition:
-      out->EmitTo(0, in);  // "position" (the default stream)
+      out->Emit(in);  // position reports ride the default stream
       break;
     case kLrBalance:
-      out->EmitTo(1, in);  // "balance"
+      out->EmitTo(balance_stream_, in);
       break;
     case kLrDaily:
-      out->EmitTo(2, in);  // "daily"
+      out->EmitTo(daily_stream_, in);
       break;
     default:
       break;  // malformed event: drop

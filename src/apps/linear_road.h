@@ -69,7 +69,15 @@ class LinearRoadSpout : public api::Spout {
 /// (the default stream is repurposed as "position").
 class LrDispatcher : public api::Operator {
  public:
+  /// Resolves the named output streams ("balance_stream",
+  /// "daily_exp_request") to ids; fails loudly if the topology no
+  /// longer declares them.
+  Status Prepare(const api::OperatorContext& ctx) override;
   void Process(const Tuple& in, api::OutputCollector* out) override;
+
+ private:
+  uint16_t balance_stream_ = 0;
+  uint16_t daily_stream_ = 0;
 };
 
 /// Per-segment running average speed over a sliding window of reports.

@@ -1,5 +1,7 @@
 #include "apps/spike_detection.h"
 
+#include "api/dsl.h"
+
 namespace brisk::apps {
 
 Status SensorSpout::Prepare(const api::OperatorContext& ctx) {
@@ -70,6 +72,49 @@ StatusOr<api::Topology> BuildSpikeDetection(
   b.AddBolt("sink", [sink] { return std::make_unique<CountingSink>(sink); })
       .ShuffleFrom("spike_detect");
   return std::move(b).Build();
+}
+
+StatusOr<api::Topology> BuildSpikeDetectionDsl(
+    std::shared_ptr<SinkTelemetry> sink, SpikeDetectionParams params) {
+  // Per-device sliding window, one per key, replica-local (the DSL's
+  // Aggregate twin of MovingAverage::WindowState).
+  struct Window {
+    std::deque<double> values;
+    double sum = 0.0;
+  };
+  dsl::Pipeline p("spike-detection");
+  p.Source("spout",
+           api::SpoutFactory(
+               [params] { return std::make_unique<SensorSpout>(params); }))
+      .Filter("parser", ParserKeeps)
+      .KeyBy(0)
+      .Aggregate<Window>(
+          "moving_avg", {},
+          [params](Window& w, const Tuple& in, dsl::Collector& out) {
+            const double reading = in.GetDouble(1);
+            w.values.push_back(reading);
+            w.sum += reading;
+            if (static_cast<int>(w.values.size()) > params.window) {
+              w.sum -= w.values.front();
+              w.values.pop_front();
+            }
+            out.Emit(in, {in.fields[0], Field(reading),
+                          Field(w.sum / static_cast<double>(
+                                            w.values.size()))});
+          })
+      .FlatMap("spike_detect",
+               [params](const Tuple& in, dsl::Collector& out) {
+                 const double reading = in.GetDouble(1);
+                 const double avg = in.GetDouble(2);
+                 const bool spike =
+                     avg > 0 && reading > params.spike_threshold * avg;
+                 out.Emit(in, {in.fields[0],
+                               Field(static_cast<int64_t>(spike ? 1 : 0))});
+               })
+      .Sink("sink", [sink](const Tuple& in) {
+        sink->RecordTuple(in.origin_ts_ns, NowNs());
+      });
+  return std::move(p).Build();
 }
 
 model::ProfileSet SpikeDetectionProfiles(const SpikeDetectionParams& params) {

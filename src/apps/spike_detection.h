@@ -69,7 +69,16 @@ class SpikeDetector : public api::Operator {
   uint64_t spikes_ = 0;
 };
 
+/// Builds SD with the Storm-compatible TopologyBuilder. Kept as the
+/// low-level-API reference; tests assert BuildSpikeDetectionDsl lowers
+/// to this exact structure.
 StatusOr<api::Topology> BuildSpikeDetection(
+    std::shared_ptr<SinkTelemetry> sink, SpikeDetectionParams params = {});
+
+/// The same SD dataflow as a dsl::Pipeline program (what MakeApp now
+/// uses): Source → Filter(parser) → KeyBy(device).Aggregate(moving_avg)
+/// → FlatMap(spike_detect) → Sink.
+StatusOr<api::Topology> BuildSpikeDetectionDsl(
     std::shared_ptr<SinkTelemetry> sink, SpikeDetectionParams params = {});
 
 model::ProfileSet SpikeDetectionProfiles(

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "api/dsl.h"
+
 namespace brisk::apps {
 
 SentenceSpout::SentenceSpout(WordCountParams params)
@@ -87,6 +89,38 @@ StatusOr<api::Topology> BuildWordCount(std::shared_ptr<SinkTelemetry> sink,
   b.AddBolt("sink", [sink] { return std::make_unique<CountingSink>(sink); })
       .ShuffleFrom("counter");
   return std::move(b).Build();
+}
+
+StatusOr<api::Topology> BuildWordCountDsl(std::shared_ptr<SinkTelemetry> sink,
+                                          WordCountParams params) {
+  dsl::Pipeline p("word-count");
+  p.Source("spout",
+           api::SpoutFactory(
+               [params] { return std::make_unique<SentenceSpout>(params); }))
+      .Filter("parser", ParserKeeps)
+      .FlatMap("splitter",
+               [](const Tuple& in, dsl::Collector& out) {
+                 const std::string_view sentence = in.GetString(0);
+                 for (size_t start = 0; start < sentence.size();) {
+                   size_t end = sentence.find(' ', start);
+                   if (end == std::string_view::npos) end = sentence.size();
+                   if (end > start) {
+                     out.Emit(in,
+                              {Field(sentence.substr(start, end - start))});
+                   }
+                   start = end + 1;
+                 }
+               })
+      .KeyBy(0)
+      .Aggregate<int64_t>("counter", 0,
+                          [](int64_t& count, const Tuple& in,
+                             dsl::Collector& out) {
+                            out.Emit(in, {in.fields[0], Field(++count)});
+                          })
+      .Sink("sink", [sink](const Tuple& in) {
+        sink->RecordTuple(in.origin_ts_ns, NowNs());
+      });
+  return std::move(p).Build();
 }
 
 model::ProfileSet WordCountProfiles(const WordCountParams& params) {

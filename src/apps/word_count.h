@@ -56,9 +56,18 @@ class WordCounter : public api::Operator {
   std::unordered_map<std::string, int64_t> counts_;
 };
 
-/// Builds the WC topology wired to the given telemetry.
+/// Builds the WC topology with the Storm-compatible TopologyBuilder,
+/// wired to the given telemetry. Kept as the low-level-API reference:
+/// tests assert BuildWordCountDsl lowers to this exact structure.
 StatusOr<api::Topology> BuildWordCount(std::shared_ptr<SinkTelemetry> sink,
                                        WordCountParams params = {});
+
+/// The same WC dataflow as a dsl::Pipeline program (what MakeApp now
+/// uses): Source → Filter(parser) → FlatMap(splitter) →
+/// KeyBy(word).Aggregate(counter) → Sink. Lowers to a Topology
+/// structurally identical to BuildWordCount's.
+StatusOr<api::Topology> BuildWordCountDsl(std::shared_ptr<SinkTelemetry> sink,
+                                          WordCountParams params = {});
 
 /// Calibrated BriskStream profiles for WC (cycles; derived from the
 /// paper's Table 3 measurements at Server A's 1.2 GHz — e.g. Splitter

@@ -1,0 +1,52 @@
+// Sink-side run telemetry, shared by every sink replica of one run.
+//
+// Lives in common/ (not apps/) because it is part of the generic
+// surface: DSL Sink lambdas and the Job facade report through it, and
+// the benchmark apps alias it as apps::SinkTelemetry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/histogram.h"
+
+namespace brisk {
+
+/// Shared telemetry all sink replicas of one run report into. The
+/// tuple counter is the throughput measurement point (§2.2: "Sink
+/// increments a counter each time it receives tuple... which we use to
+/// monitor the performance"); latency is sampled to keep the hot path
+/// cheap.
+class SinkTelemetry {
+ public:
+  void RecordTuple(int64_t origin_ts_ns, int64_t now_ns) {
+    const uint64_t n = count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (origin_ts_ns > 0 && (n & (kLatencySampleEvery - 1)) == 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      latency_ns_.Add(static_cast<double>(now_ns - origin_ts_ns));
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  Histogram LatencySnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latency_ns_;
+  }
+
+  void Reset() {
+    count_.store(0);
+    std::lock_guard<std::mutex> lock(mu_);
+    latency_ns_.Reset();
+  }
+
+ private:
+  static constexpr uint64_t kLatencySampleEvery = 32;  // power of two
+
+  std::atomic<uint64_t> count_{0};
+  mutable std::mutex mu_;
+  Histogram latency_ns_;
+};
+
+}  // namespace brisk

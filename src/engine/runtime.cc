@@ -105,6 +105,7 @@ StatusOr<std::unique_ptr<BriskRuntime>> BriskRuntime::Create(
     ctx.replica_index = pi.replica;
     ctx.num_replicas = plan.replication(pi.op);
     ctx.socket = pi.socket;
+    ctx.output_streams = topo->op(pi.op).output_streams;
     BRISK_RETURN_NOT_OK(rt->tasks_[i]->Prepare(ctx));
   }
   return rt;

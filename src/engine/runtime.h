@@ -29,7 +29,7 @@ struct RunStats {
 ///
 /// Lifecycle: Create() -> Start() -> (workload runs) -> Stop().
 /// Throughput/latency are observed through the application's
-/// SinkTelemetry (apps/common_ops.h), which sink operators update.
+/// SinkTelemetry (common/telemetry.h), which sink operators update.
 class BriskRuntime {
  public:
   /// Builds the runtime: instantiates every operator replica via its

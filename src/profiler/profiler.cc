@@ -62,6 +62,7 @@ StatusOr<AppProfile> ProfileApp(const api::Topology& topo,
     ctx.replica_index = 0;
     ctx.num_replicas = 1;
     ctx.socket = 0;
+    ctx.output_streams = op.output_streams;
 
     double in_bytes_sum = 0.0;
 

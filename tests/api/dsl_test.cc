@@ -1,0 +1,291 @@
+// Tests for the brisk::dsl fluent layer: lowering onto api::Topology
+// (structural identity with the hand-built apps), the synthesized
+// lambda adapters, named side outputs, and keyed aggregation state.
+#include "api/dsl.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/spike_detection.h"
+#include "apps/word_count.h"
+
+namespace brisk::dsl {
+namespace {
+
+/// Captures emitted tuples per stream id.
+class CapturingCollector : public api::OutputCollector {
+ public:
+  void Emit(Tuple t) override { EmitTo(0, std::move(t)); }
+  void EmitTo(uint16_t stream_id, Tuple t) override {
+    if (stream_id >= streams_.size()) streams_.resize(stream_id + 1);
+    streams_[stream_id].push_back(std::move(t));
+  }
+  const std::vector<Tuple>& stream(uint16_t id) const { return streams_[id]; }
+  size_t num_streams() const { return streams_.size(); }
+
+ private:
+  std::vector<std::vector<Tuple>> streams_;
+};
+
+/// Asserts two topologies are structurally identical: same operators
+/// (name, kind, parallelism, declared streams) and same edges
+/// (endpoints by name, stream id, grouping, key field).
+void ExpectStructurallyIdentical(const api::Topology& a,
+                                 const api::Topology& b) {
+  ASSERT_EQ(a.num_operators(), b.num_operators());
+  for (int i = 0; i < a.num_operators(); ++i) {
+    const auto& oa = a.op(i);
+    const auto& ob = b.op(i);
+    EXPECT_EQ(oa.name, ob.name);
+    EXPECT_EQ(oa.is_spout, ob.is_spout);
+    EXPECT_EQ(oa.base_parallelism, ob.base_parallelism);
+    EXPECT_EQ(oa.output_streams, ob.output_streams);
+  }
+  ASSERT_EQ(a.edges().size(), b.edges().size());
+  for (size_t i = 0; i < a.edges().size(); ++i) {
+    const auto& ea = a.edges()[i];
+    const auto& eb = b.edges()[i];
+    EXPECT_EQ(a.op(ea.producer_op).name, b.op(eb.producer_op).name);
+    EXPECT_EQ(a.op(ea.consumer_op).name, b.op(eb.consumer_op).name);
+    EXPECT_EQ(ea.stream_id, eb.stream_id);
+    EXPECT_EQ(ea.grouping, eb.grouping);
+    EXPECT_EQ(ea.key_field, eb.key_field);
+  }
+  EXPECT_EQ(a.spouts(), b.spouts());
+  EXPECT_EQ(a.sinks(), b.sinks());
+  EXPECT_EQ(a.topological_order(), b.topological_order());
+}
+
+/// Prepares a freshly instantiated operator from `topo`'s factory.
+std::unique_ptr<api::Operator> Instantiate(const api::Topology& topo,
+                                           const std::string& name) {
+  const auto id = topo.OpId(name);
+  EXPECT_TRUE(id.ok());
+  const auto& decl = topo.op(*id);
+  auto op = decl.bolt_factory();
+  api::OperatorContext ctx;
+  ctx.operator_name = decl.name;
+  ctx.output_streams = decl.output_streams;
+  EXPECT_TRUE(op->Prepare(ctx).ok());
+  return op;
+}
+
+TEST(DslLoweringTest, WordCountMatchesHandBuiltTopology) {
+  auto telemetry = std::make_shared<apps::SinkTelemetry>();
+  auto hand = apps::BuildWordCount(telemetry);
+  auto lowered = apps::BuildWordCountDsl(telemetry);
+  ASSERT_TRUE(hand.ok()) << hand.status();
+  ASSERT_TRUE(lowered.ok()) << lowered.status();
+  ExpectStructurallyIdentical(*hand, *lowered);
+}
+
+TEST(DslLoweringTest, SpikeDetectionMatchesHandBuiltTopology) {
+  auto telemetry = std::make_shared<apps::SinkTelemetry>();
+  auto hand = apps::BuildSpikeDetection(telemetry);
+  auto lowered = apps::BuildSpikeDetectionDsl(telemetry);
+  ASSERT_TRUE(hand.ok()) << hand.status();
+  ASSERT_TRUE(lowered.ok()) << lowered.status();
+  ExpectStructurallyIdentical(*hand, *lowered);
+}
+
+TEST(DslLoweringTest, ParallelismAndGroupingsLower) {
+  Pipeline p("groupings");
+  Stream src = p.Source("src", SourceFn([](size_t, Collector&) {
+                          return size_t{0};
+                        })).Parallelism(2);
+  src.FlatMap("fan", [](const Tuple&, Collector&) {}).Parallelism(3);
+  src.Broadcast().FlatMap("everywhere", [](const Tuple&, Collector&) {});
+  src.Global().Sink("one", [](const Tuple&) {});
+  src.KeyBy(1).Aggregate<int64_t>(
+      "agg", 0, [](int64_t&, const Tuple&, Collector&) {});
+  auto topo = std::move(p).Build();
+  ASSERT_TRUE(topo.ok()) << topo.status();
+  EXPECT_EQ(topo->op(*topo->OpId("src")).base_parallelism, 2);
+  EXPECT_EQ(topo->op(*topo->OpId("fan")).base_parallelism, 3);
+  EXPECT_EQ(topo->InEdges(*topo->OpId("fan"))[0].grouping,
+            api::GroupingType::kShuffle);
+  EXPECT_EQ(topo->InEdges(*topo->OpId("everywhere"))[0].grouping,
+            api::GroupingType::kBroadcast);
+  EXPECT_EQ(topo->InEdges(*topo->OpId("one"))[0].grouping,
+            api::GroupingType::kGlobal);
+  const auto& agg_in = topo->InEdges(*topo->OpId("agg"))[0];
+  EXPECT_EQ(agg_in.grouping, api::GroupingType::kFields);
+  EXPECT_EQ(agg_in.key_field, 1u);
+}
+
+TEST(DslLoweringTest, SideOutputDeclaresNamedStream) {
+  Pipeline p("side");
+  Stream src = p.Source("src", SourceFn([](size_t, Collector&) {
+    return size_t{0};
+  }));
+  Stream router = src.FlatMap("router", [](const Tuple& in, Collector& out) {
+    if (in.GetInt(0) % 2 != 0) {
+      EXPECT_TRUE(out.EmitTo("odds", in, {in.fields[0]}));
+    } else {
+      out.Emit(in, {in.fields[0]});
+    }
+  });
+  Stream odds = router.SideOutput("odds");
+  router.Sink("even_sink", [](const Tuple&) {});
+  odds.Sink("odd_sink", [](const Tuple&) {});
+  auto topo = std::move(p).Build();
+  ASSERT_TRUE(topo.ok()) << topo.status();
+
+  const auto& router_decl = topo->op(*topo->OpId("router"));
+  ASSERT_EQ(router_decl.output_streams.size(), 2u);
+  EXPECT_EQ(*router_decl.StreamId("odds"), 1);
+  EXPECT_EQ(topo->InEdges(*topo->OpId("odd_sink"))[0].stream_id, 1);
+  EXPECT_EQ(topo->InEdges(*topo->OpId("even_sink"))[0].stream_id, 0);
+
+  // Drive the synthesized router: odd keys reach the named stream.
+  auto router_op = Instantiate(*topo, "router");
+  CapturingCollector out;
+  for (int64_t v : {1, 2, 3, 4, 5}) {
+    Tuple t;
+    t.fields = {Field(v)};
+    router_op->Process(t, &out);
+  }
+  EXPECT_EQ(out.stream(0).size(), 2u);  // evens on "default"
+  EXPECT_EQ(out.stream(1).size(), 3u);  // odds on "odds"
+}
+
+TEST(DslAdapterTest, EmitToUnknownStreamReturnsFalseAndDrops) {
+  Pipeline p("unknown-stream");
+  p.Source("src", SourceFn([](size_t, Collector&) { return size_t{0}; }))
+      .FlatMap("bolt",
+               [](const Tuple& in, Collector& out) {
+                 EXPECT_FALSE(out.EmitTo("no-such-stream", in, {}));
+               })
+      .Sink("sink", [](const Tuple&) {});
+  auto topo = std::move(p).Build();
+  ASSERT_TRUE(topo.ok()) << topo.status();
+  auto bolt = Instantiate(*topo, "bolt");
+  CapturingCollector out;
+  Tuple t;
+  t.fields = {Field(int64_t{7})};
+  bolt->Process(t, &out);
+  EXPECT_EQ(out.num_streams(), 0u);
+}
+
+TEST(DslAdapterTest, AggregatePartitionsStateByKeyAndType) {
+  Pipeline p("agg");
+  p.Source("src", SourceFn([](size_t, Collector&) { return size_t{0}; }))
+      .KeyBy(0)
+      .Aggregate<int64_t>("counter", 0,
+                          [](int64_t& count, const Tuple& in,
+                             Collector& out) {
+                            out.Emit(in, {in.fields[0], Field(++count)});
+                          });
+  auto topo = std::move(p).Build();
+  ASSERT_TRUE(topo.ok()) << topo.status();
+  auto counter = Instantiate(*topo, "counter");
+  CapturingCollector out;
+  for (const char* word : {"ka", "lo", "ka", "ka"}) {
+    Tuple t;
+    t.fields = {Field(word)};
+    counter->Process(t, &out);
+  }
+  ASSERT_EQ(out.stream(0).size(), 4u);
+  EXPECT_EQ(out.stream(0)[0].GetInt(1), 1);  // ka
+  EXPECT_EQ(out.stream(0)[1].GetInt(1), 1);  // lo
+  EXPECT_EQ(out.stream(0)[2].GetInt(1), 2);  // ka
+  EXPECT_EQ(out.stream(0)[3].GetInt(1), 3);  // ka
+
+  // Distinct field types never share state, even with equal bytes.
+  EXPECT_NE(detail::KeyOf(Field(int64_t{0})), detail::KeyOf(Field(0.0)));
+  EXPECT_NE(detail::KeyOf(Field(int64_t{'s'})), detail::KeyOf(Field("s")));
+}
+
+TEST(DslAdapterTest, ReplicaStateIsIndependentAcrossInstances) {
+  Pipeline p("replica-state");
+  p.Source("src", SourceFn([](size_t, Collector&) { return size_t{0}; }))
+      .FlatMap("tagger",
+               [n = int64_t{0}](const Tuple& in, Collector& out) mutable {
+                 out.Emit(in, {Field(++n)});
+               })
+      .Sink("sink", [](const Tuple&) {});
+  auto topo = std::move(p).Build();
+  ASSERT_TRUE(topo.ok()) << topo.status();
+  auto a = Instantiate(*topo, "tagger");
+  auto b = Instantiate(*topo, "tagger");
+  CapturingCollector out_a, out_b;
+  Tuple t;
+  a->Process(t, &out_a);
+  a->Process(t, &out_a);
+  b->Process(t, &out_b);  // fresh replica: counts restart at 1
+  EXPECT_EQ(out_a.stream(0)[1].GetInt(0), 2);
+  EXPECT_EQ(out_b.stream(0)[0].GetInt(0), 1);
+}
+
+TEST(DslAdapterTest, MapInheritsOriginTimestampAndFilterForwards) {
+  Pipeline p("mapfilter");
+  Stream src =
+      p.Source("src", SourceFn([](size_t, Collector&) { return size_t{0}; }));
+  src.Map("double_it", [](const Tuple& in) {
+    Tuple t;
+    t.fields = {Field(in.GetInt(0) * 2)};
+    return t;
+  });
+  src.Filter("evens", [](const Tuple& in) { return in.GetInt(0) % 2 == 0; });
+  auto topo = std::move(p).Build();
+  ASSERT_TRUE(topo.ok()) << topo.status();
+
+  auto mapper = Instantiate(*topo, "double_it");
+  CapturingCollector out;
+  Tuple t;
+  t.fields = {Field(int64_t{21})};
+  t.origin_ts_ns = 1234;
+  mapper->Process(t, &out);
+  ASSERT_EQ(out.stream(0).size(), 1u);
+  EXPECT_EQ(out.stream(0)[0].GetInt(0), 42);
+  EXPECT_EQ(out.stream(0)[0].origin_ts_ns, 1234);
+
+  auto filter = Instantiate(*topo, "evens");
+  CapturingCollector fout;
+  filter->Process(t, &fout);  // 21 is odd: dropped
+  EXPECT_EQ(fout.num_streams(), 0u);
+  Tuple even;
+  even.fields = {Field(int64_t{4})};
+  filter->Process(even, &fout);
+  ASSERT_EQ(fout.stream(0).size(), 1u);
+  EXPECT_EQ(fout.stream(0)[0].GetInt(0), 4);
+}
+
+TEST(DslMisuseTest, DuplicateOperatorNamesFailAtBuild) {
+  Pipeline p("dup");
+  Stream src =
+      p.Source("src", SourceFn([](size_t, Collector&) { return size_t{0}; }));
+  src.FlatMap("x", [](const Tuple&, Collector&) {});
+  src.FlatMap("x", [](const Tuple&, Collector&) {});
+  auto topo = std::move(p).Build();
+  ASSERT_FALSE(topo.ok());
+  EXPECT_EQ(topo.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(topo.status().message().find("duplicate operator name"),
+            std::string::npos);
+}
+
+TEST(DslMisuseTest, EmptyPipelineFailsAtBuild) {
+  Pipeline p("empty");
+  EXPECT_FALSE(std::move(p).Build().ok());
+}
+
+TEST(DslMisuseTest, EmptyUserFunctionFailsAtPrepare) {
+  Pipeline p("null-fn");
+  p.Source("src", SourceFn([](size_t, Collector&) { return size_t{0}; }))
+      .FlatMap("broken", ProcessFn());
+  auto topo = std::move(p).Build();
+  ASSERT_TRUE(topo.ok()) << topo.status();
+  const auto& decl = topo->op(*topo->OpId("broken"));
+  auto op = decl.bolt_factory();
+  api::OperatorContext ctx;
+  ctx.operator_name = decl.name;
+  ctx.output_streams = decl.output_streams;
+  const Status st = op->Prepare(ctx);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("broken"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace brisk::dsl

@@ -1,0 +1,133 @@
+// Tests for the brisk::Job facade: the one-call
+// profile→optimize→deploy driver and its planner strategies.
+#include "api/job.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "api/dsl.h"
+#include "apps/common_ops.h"  // apps::NowNs for origin timestamps
+
+namespace brisk {
+namespace {
+
+/// A tiny bounded-rate pipeline: int source -> pass -> counting sink.
+dsl::Pipeline TinyPipeline(std::shared_ptr<SinkTelemetry> telemetry) {
+  dsl::Pipeline p("tiny");
+  p.Source("src",
+           dsl::SourceFn([](size_t max_tuples, dsl::Collector& out) {
+             const int64_t now = apps::NowNs();
+             for (size_t i = 0; i < max_tuples; ++i) {
+               Tuple t;
+               t.fields = {Field(static_cast<int64_t>(i))};
+               t.origin_ts_ns = now;
+               out.Emit(std::move(t));
+             }
+             return max_tuples;
+           }))
+      .FlatMap("pass",
+               [](const Tuple& in, dsl::Collector& out) { out.Emit(in); })
+      .Sink("sink", [telemetry](const Tuple& in) {
+        telemetry->RecordTuple(in.origin_ts_ns, apps::NowNs());
+      });
+  return p;
+}
+
+model::ProfileSet TinyProfiles() {
+  model::ProfileSet profiles;
+  profiles.Set("src", model::OperatorProfile::Simple(400, 32, 16));
+  profiles.Set("pass", model::OperatorProfile::Simple(300, 32, 16));
+  profiles.Set("sink", model::OperatorProfile::Simple(120, 16, 8, 0.0));
+  return profiles;
+}
+
+engine::EngineConfig BoundedConfig() {
+  engine::EngineConfig config = engine::EngineConfig::Brisk();
+  config.spout_rate_tps = 50000;  // bounded load for CI machines
+  return config;
+}
+
+TEST(JobTest, RunWithSuppliedProfilesSkipsProfilerAndReports) {
+  auto telemetry = std::make_shared<apps::SinkTelemetry>();
+  auto report = Job::Of(TinyPipeline(telemetry))
+                    .WithProfiles(TinyProfiles())
+                    .WithConfig(BoundedConfig())
+                    .WithTelemetry(telemetry)
+                    .Run(0.15);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->profiled);
+  EXPECT_EQ(report->planner, Planner::kRlas);
+  EXPECT_GT(report->model.throughput, 0.0);
+  EXPECT_TRUE(report->plan.FullyPlaced());
+  EXPECT_GT(report->stats.duration_s, 0.0);
+  EXPECT_GT(report->sink_tuples, 0u);
+  EXPECT_EQ(report->stats.tasks.size(),
+            static_cast<size_t>(report->plan.num_instances()));
+  EXPECT_NE(report->ToString().find("RLAS"), std::string::npos);
+}
+
+TEST(JobTest, BaselinePlannersProduceRunnablePlans) {
+  for (const Planner planner :
+       {Planner::kRoundRobin, Planner::kFirstFit, Planner::kOsDefault}) {
+    auto telemetry = std::make_shared<apps::SinkTelemetry>();
+    auto report = Job::Of(TinyPipeline(telemetry))
+                      .WithProfiles(TinyProfiles())
+                      .WithConfig(BoundedConfig())
+                      .WithPlanner(planner)
+                      .WithTelemetry(telemetry)
+                      .Run(0.1);
+    ASSERT_TRUE(report.ok()) << PlannerName(planner) << ": "
+                             << report.status();
+    EXPECT_EQ(report->planner, planner);
+    EXPECT_EQ(report->scaling_iterations, 0);  // baselines do not scale
+    EXPECT_TRUE(report->plan.FullyPlaced());
+    EXPECT_GT(report->sink_tuples, 0u) << PlannerName(planner);
+  }
+}
+
+TEST(JobTest, DeployGivesARunningHandleAndStopIsIdempotent) {
+  auto telemetry = std::make_shared<apps::SinkTelemetry>();
+  auto deployment = Job::Of(TinyPipeline(telemetry))
+                        .WithProfiles(TinyProfiles())
+                        .WithConfig(BoundedConfig())
+                        .WithTelemetry(telemetry)
+                        .Deploy();
+  ASSERT_TRUE(deployment.ok()) << deployment.status();
+  EXPECT_EQ((*deployment)->runtime().num_tasks(),
+            (*deployment)->report().plan.num_instances());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const JobReport& report = (*deployment)->Stop();
+  EXPECT_GT(report.sink_tuples, 0u);
+  const uint64_t first_count = report.sink_tuples;
+  EXPECT_EQ((*deployment)->Stop().sink_tuples, first_count);
+}
+
+TEST(JobTest, PipelineLoweringErrorSurfacesFromRun) {
+  dsl::Pipeline p("broken");
+  dsl::Stream src = p.Source(
+      "src", dsl::SourceFn([](size_t, dsl::Collector&) { return size_t{0}; }));
+  src.FlatMap("dup", [](const Tuple&, dsl::Collector&) {});
+  src.FlatMap("dup", [](const Tuple&, dsl::Collector&) {});
+  auto report = Job::Of(std::move(p)).Run(0.05);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(JobTest, NullTopologyIsRejected) {
+  auto report = Job::Of(std::shared_ptr<const api::Topology>()).Run(0.05);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JobTest, PlannerNamesAreStable) {
+  EXPECT_STREQ(PlannerName(Planner::kRlas), "RLAS");
+  EXPECT_STREQ(PlannerName(Planner::kFirstFit), "FF");
+  EXPECT_STREQ(PlannerName(Planner::kRoundRobin), "RR");
+  EXPECT_STREQ(PlannerName(Planner::kOsDefault), "OS");
+}
+
+}  // namespace
+}  // namespace brisk

@@ -87,27 +87,77 @@ TEST(TopologyBuilderTest, RejectsDuplicateNames) {
   auto topo = std::move(b).Build();
   ASSERT_FALSE(topo.ok());
   EXPECT_EQ(topo.status().code(), StatusCode::kAlreadyExists);
+  // The message names the offending operator.
+  EXPECT_NE(topo.status().message().find("duplicate operator name 'x'"),
+            std::string::npos)
+      << topo.status();
 }
 
 TEST(TopologyBuilderTest, RejectsUnknownProducer) {
   TopologyBuilder b("bad");
   b.AddSpout("s", NullSpout());
   b.AddBolt("k", NullBolt()).ShuffleFrom("ghost");
-  EXPECT_FALSE(std::move(b).Build().ok());
+  auto topo = std::move(b).Build();
+  ASSERT_FALSE(topo.ok());
+  EXPECT_EQ(topo.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(topo.status().message().find(
+                "'k' subscribes to unknown producer 'ghost'"),
+            std::string::npos)
+      << topo.status();
 }
 
 TEST(TopologyBuilderTest, RejectsUnknownStream) {
   TopologyBuilder b("bad");
   b.AddSpout("s", NullSpout());
   b.AddBolt("k", NullBolt()).ShuffleFrom("s", "no-such-stream");
-  EXPECT_FALSE(std::move(b).Build().ok());
+  auto topo = std::move(b).Build();
+  ASSERT_FALSE(topo.ok());
+  EXPECT_EQ(topo.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(topo.status().message().find(
+                "'s' declares no stream 'no-such-stream'"),
+            std::string::npos)
+      << topo.status();
 }
 
 TEST(TopologyBuilderTest, RejectsBoltWithoutInputs) {
   TopologyBuilder b("floating");
   b.AddSpout("s", NullSpout());
   b.AddBolt("island", NullBolt());
-  EXPECT_FALSE(std::move(b).Build().ok());
+  auto topo = std::move(b).Build();
+  ASSERT_FALSE(topo.ok());
+  EXPECT_NE(topo.status().message().find("bolt 'island' has no inputs"),
+            std::string::npos)
+      << topo.status();
+}
+
+TEST(TopologyBuilderTest, DuplicateStreamDeclarationDefersToBuild) {
+  TopologyBuilder b("dup-stream");
+  b.AddSpout("s", NullSpout())
+      .DeclareStream("alerts")
+      .DeclareStream("alerts");  // misuse mid-chain: recorded, not thrown
+  b.AddBolt("k", NullBolt()).ShuffleFrom("s", "alerts");
+  auto topo = std::move(b).Build();
+  ASSERT_FALSE(topo.ok());
+  EXPECT_EQ(topo.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(topo.status().message().find(
+                "'s' declares stream 'alerts' twice"),
+            std::string::npos)
+      << topo.status();
+}
+
+TEST(TopologyTest, StreamIdResolvesDeclaredStreams) {
+  TopologyBuilder b("streams");
+  b.AddSpout("s", NullSpout()).DeclareStream("left").DeclareStream("right");
+  b.AddBolt("k", NullBolt()).ShuffleFrom("s", "right");
+  auto topo = std::move(b).Build();
+  ASSERT_TRUE(topo.ok()) << topo.status();
+  const auto& decl = topo->op(0);
+  EXPECT_EQ(*decl.StreamId("default"), 0);
+  EXPECT_EQ(*decl.StreamId("left"), 1);
+  EXPECT_EQ(*decl.StreamId("right"), 2);
+  auto missing = decl.StreamId("ghost");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
 
 TEST(TopologyBuilderTest, RejectsMissingSpout) {

@@ -240,6 +240,10 @@ TEST(LinearRoadTest, TopologyMatchesFig18c) {
 
 TEST(LinearRoadTest, DispatcherRoutesByType) {
   LrDispatcher dispatcher;
+  api::OperatorContext ctx;
+  ctx.operator_name = "dispatcher";
+  ctx.output_streams = {"default", "balance_stream", "daily_exp_request"};
+  ASSERT_TRUE(dispatcher.Prepare(ctx).ok());
   CaptureCollector out;
   Tuple pos;
   pos.fields = {Field(kLrPosition), Field(int64_t{1}), Field(int64_t{2}),

@@ -1,66 +1,60 @@
-// Tier-1 smoke test: the full paper pipeline, end to end, once.
+// Tier-1 smoke test: the full paper pipeline, end to end, once —
+// driven through the brisk::Job facade.
 //
-// MakeApp(kWordCount) -> ProfileApp -> RlasOptimizer::Optimize ->
-// BriskRuntime Create/Start/Stop with NUMA emulation, asserting the
-// sink observed real traffic. This is the one test that touches every
-// layer (apps, profiler, model, optimizer, engine, hardware) and fails
+// Job::Of(word_count).Run(s) internally performs what this test used
+// to hand-wire: MakeApp -> ProfileApp -> RlasOptimizer::Optimize ->
+// BriskRuntime Create/Start/Stop with NUMA emulation. The assertions
+// are the same: the optimizer produced a feasible plan with a positive
+// prediction, the engine ran every planned instance, and the sink
+// observed real traffic. This is the one test that touches every layer
+// (apps, profiler, model, optimizer, engine, hardware) and fails
 // loudly if any seam between them breaks.
-#include <chrono>
-#include <thread>
-
 #include <gtest/gtest.h>
 
+#include "api/job.h"
 #include "apps/apps.h"
-#include "engine/runtime.h"
 #include "hardware/machine_spec.h"
-#include "hardware/numa_emulator.h"
-#include "optimizer/rlas.h"
-#include "profiler/profiler.h"
 
 namespace brisk {
 namespace {
 
 TEST(PipelineSmokeTest, WordCountProfilesOptimizesAndRuns) {
-  // 1. Application.
+  // 1. Application (built by the DSL under MakeApp).
   auto app = apps::MakeApp(apps::AppId::kWordCount);
   ASSERT_TRUE(app.ok()) << app.status();
 
-  // 2. Profile every operator (reduced sample count: this is a smoke
-  // test, not a calibration run).
+  // 2–4. Profile (reduced sample count: smoke, not calibration),
+  // RLAS on a small symmetric machine so the optimized plan stays
+  // runnable on a CI-sized host, deploy under NUMA emulation.
   profiler::ProfilerConfig pcfg;
   pcfg.samples = 2000;
   pcfg.warmup_samples = 200;
-  auto profile = profiler::ProfileApp(app->topology(), pcfg);
-  ASSERT_TRUE(profile.ok()) << profile.status();
-
-  // 3. RLAS replication + placement on a small symmetric machine, so
-  // the optimized plan stays runnable on a CI-sized host.
-  const hw::MachineSpec machine =
-      hw::MachineSpec::Symmetric(2, 4, 2.0, 100, 300, 40, 12);
-  opt::RlasOptimizer optimizer(&machine, &profile->profiles);
-  auto result = optimizer.Optimize(app->topology());
-  ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_GT(result->model.throughput, 0.0);
-  EXPECT_GE(result->scaling_iterations, 1);
-
-  // 4. Deploy the optimized plan on the real engine with the NUMA
-  // emulator charging cross-socket fetches.
-  const hw::NumaEmulator numa(machine);
   engine::EngineConfig ecfg = engine::EngineConfig::Brisk();
   ecfg.numa_emulation = true;
   ecfg.spout_rate_tps = 20000;  // bounded load for CI machines
-  auto rt = engine::BriskRuntime::Create(app->topology_ptr.get(),
-                                         result->plan, ecfg, &numa);
-  ASSERT_TRUE(rt.ok()) << rt.status();
-  ASSERT_EQ((*rt)->num_tasks(), result->plan.num_instances());
 
-  ASSERT_TRUE((*rt)->Start().ok());
-  std::this_thread::sleep_for(std::chrono::milliseconds(400));
-  const engine::RunStats stats = (*rt)->Stop();
+  auto report = Job::Of(app->topology_ptr)
+                    .WithMachine(hw::MachineSpec::Symmetric(2, 4, 2.0, 100,
+                                                            300, 40, 12))
+                    .WithProfiler(pcfg)
+                    .WithConfig(ecfg)
+                    .WithTelemetry(app->telemetry)
+                    .Run(0.4);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  // The profiler stage ran and the optimizer scaled the plan.
+  EXPECT_TRUE(report->profiled);
+  EXPECT_GT(report->model.throughput, 0.0);
+  EXPECT_GE(report->scaling_iterations, 1);
+
+  // The engine ran one task per planned instance.
+  EXPECT_EQ(static_cast<int>(report->stats.tasks.size()),
+            report->plan.num_instances());
 
   // 5. The run produced real telemetry at the sink.
-  EXPECT_GT(stats.duration_s, 0.0);
-  EXPECT_GT(stats.total_emitted, 0u);
+  EXPECT_GT(report->stats.duration_s, 0.0);
+  EXPECT_GT(report->stats.total_emitted, 0u);
+  EXPECT_GT(report->sink_tuples, 0u);
   EXPECT_GT(app->telemetry->count(), 0u);
 }
 
