@@ -1,0 +1,293 @@
+// Executor A/B benchmark — the worker-pool tentpole measured against
+// the legacy thread-per-task model on word_count at replication 1→64
+// on fixed cores (ISSUE 4). Replication scales the splitter and
+// counter ({1,1,r,r,1}); every instance is placed on socket 0 so both
+// executors schedule the same plan on the same cores and only the
+// execution model differs.
+//
+// The gated (primary) comparison holds the buffering budget equal and
+// latency-bounded: both executors run the identical queue_capacity=16
+// rings (31 usable slots after power-of-two rounding) with the pool's
+// cooperative in-flight cap disabled, so the only difference is the
+// execution model. This is the regime the tentpole targets — with
+// deep rings, thread-per-task masks its FlushBuffer spin-waste and
+// context switching behind megabytes of queued (cache-cold,
+// high-latency) inventory; a default-config reference (deep rings +
+// the pool's default in-flight cap) is recorded as a secondary,
+// ungated sweep for transparency.
+//
+// Writes the human table to stdout and the machine-readable
+// `BENCH_executor.json`, and exits nonzero when either gate fails:
+//   - parity:  worker-pool >= 95% of thread-per-task at replication =
+//     host cores (the pool must not tax the well-provisioned case);
+//   - oversub: worker-pool >= 2x thread-per-task at >= 8x
+//     oversubscription (the case thread-per-task collapses on).
+//
+// Flags: --quick (CI-sized points/durations), --out <path>,
+// --budget/--qcap (experiment overrides).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/runtime.h"
+#include "model/execution_plan.h"
+
+namespace brisk {
+namespace {
+
+using engine::EngineConfig;
+using engine::ExecutorKind;
+using model::ExecutionPlan;
+
+int HostCores() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+struct RunResult {
+  double sink_tps = 0.0;
+  double p99_ms = 0.0;
+  int tasks = 0;
+  int threads = 0;
+  uint64_t parks = 0;
+};
+
+int g_budget = 0;  // experiment override, 0 = default
+int g_qcap = 0;    // experiment override, 0 = default
+
+/// Requested ring capacity per edge in the gated comparison; both
+/// executors get the identical ring (and the pool's soft cap is off),
+/// so the buffering budget is exactly equal.
+constexpr size_t kBoundedQueueBatches = 16;
+
+RunResult RunOnce(ExecutorKind kind, int replication, double seconds,
+                  size_t queue_capacity, bool equal_rings) {
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  if (!app.ok()) std::abort();
+  auto plan = ExecutionPlan::Create(app->topology_ptr.get(),
+                                    {1, 1, replication, replication, 1});
+  if (!plan.ok()) std::abort();
+  plan->PlaceAllOn(0);
+  EngineConfig cfg = EngineConfig::Brisk();
+  cfg.executor = kind;
+  cfg.queue_capacity = queue_capacity;
+  // Equal budget: the pool's in-flight soft cap would otherwise bound
+  // it tighter than the legacy ring (31 usable slots for capacity 16).
+  if (equal_rings) cfg.pool_inflight_batches = 0;
+  cfg.graceful_drain = false;
+  if (g_budget > 0) cfg.poll_budget = g_budget;
+  if (g_qcap > 0) cfg.queue_capacity = static_cast<size_t>(g_qcap);
+  auto rt = engine::BriskRuntime::Create(app->topology_ptr.get(), *plan, cfg);
+  if (!rt.ok()) std::abort();
+  if (!(*rt)->Start().ok()) std::abort();
+  const int64_t t0 = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  // Steady-state snapshot BEFORE Stop(): the shutdown epilogue drains
+  // the queued backlog single-threaded, which would otherwise pollute
+  // both throughput and the latency histogram.
+  const uint64_t steady_tuples = app->telemetry->count();
+  const Histogram steady_latency = app->telemetry->LatencySnapshot();
+  const int64_t t1 = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+  const engine::RunStats stats = (*rt)->Stop();
+  RunResult res;
+  res.tasks = static_cast<int>(stats.tasks.size());
+  res.threads = stats.executor.threads;
+  res.parks = stats.executor.parks;
+  res.sink_tps = static_cast<double>(steady_tuples) /
+                 (static_cast<double>(t1 - t0) * 1e-9);
+  res.p99_ms = steady_latency.Percentile(0.99) / 1e6;
+  return res;
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_executor.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      g_budget = std::atoi(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--qcap") == 0 && i + 1 < argc) {
+      g_qcap = std::atoi(argv[++i]);
+    }
+  }
+  const double seconds = quick ? 0.4 : 1.5;
+  const int cores = HostCores();
+  // Replication levels: the gate points (replication = cores, and the
+  // first level putting total tasks >= 8x cores) plus, in full mode,
+  // the paper-style 1 -> 64 doubling sweep.
+  const int r_parity = std::max(1, cores);
+  const int r_oversub =
+      std::max(r_parity + 1, (8 * cores - 3 + 1) / 2 + 1);
+  std::set<int> levels = {1, r_parity, r_oversub};
+  if (!quick) {
+    for (int r = 2; r <= 64; r *= 2) levels.insert(r);
+  }
+
+  bench::Banner("executor",
+                "worker-pool vs thread-per-task, word_count replication "
+                "sweep on fixed cores");
+  std::printf("host cores: %d, run: %.1fs/point, identical capacity-%zu "
+              "rings for both executors (equal buffering budget), gates "
+              "at r=%d (parity) and r=%d (8x oversubscription)\n",
+              cores, seconds, kBoundedQueueBatches, r_parity, r_oversub);
+
+  const std::vector<int> widths = {6, 7, 8, 13, 13, 7, 10, 10};
+  auto print_point = [&](int r, const RunResult& tpt,
+                         const RunResult& pool, double ratio,
+                         double oversub) {
+    char rs[16], tasks_s[16], ov[16], tpt_s[32], pool_s[32], ratio_s[16],
+        tpt_p99[16], pool_p99[16];
+    std::snprintf(rs, sizeof(rs), "%d", r);
+    std::snprintf(tasks_s, sizeof(tasks_s), "%d", tpt.tasks);
+    std::snprintf(ov, sizeof(ov), "%.1fx", oversub);
+    std::snprintf(tpt_s, sizeof(tpt_s), "%.0f", tpt.sink_tps);
+    std::snprintf(pool_s, sizeof(pool_s), "%.0f", pool.sink_tps);
+    std::snprintf(ratio_s, sizeof(ratio_s), "%.2fx", ratio);
+    std::snprintf(tpt_p99, sizeof(tpt_p99), "%.1f", tpt.p99_ms);
+    std::snprintf(pool_p99, sizeof(pool_p99), "%.1f", pool.p99_ms);
+    bench::PrintRow({rs, tasks_s, ov, tpt_s, pool_s, ratio_s, tpt_p99,
+                     pool_p99},
+                    widths);
+  };
+  auto json_point = [](const RunResult& tpt, const RunResult& pool,
+                       int r, double ratio, double oversub) {
+    bench::JsonObj point;
+    point.Add("replication", r)
+        .Add("tasks", tpt.tasks)
+        .Add("oversubscription", oversub)
+        .Add("thread_per_task_tps", tpt.sink_tps)
+        .Add("worker_pool_tps", pool.sink_tps)
+        .Add("pool_vs_tpt", ratio)
+        .Add("thread_per_task_p99_ms", tpt.p99_ms)
+        .Add("worker_pool_p99_ms", pool.p99_ms)
+        .Add("pool_workers", pool.threads)
+        .Add("pool_parks", pool.parks);
+    return point;
+  };
+
+  bench::PrintRule(widths);
+  bench::PrintRow({"r", "tasks", "oversub", "tpt tup/s", "pool tup/s",
+                   "ratio", "tpt p99ms", "pool p99ms"},
+                  widths);
+  bench::PrintRule(widths);
+
+  bench::JsonObj points;
+  double parity_ratio = 0.0;
+  double oversub_ratio = 0.0;
+  for (const int r : levels) {
+    const RunResult tpt = RunOnce(ExecutorKind::kThreadPerTask, r, seconds,
+                                  kBoundedQueueBatches,
+                                  /*equal_rings=*/true);
+    const RunResult pool = RunOnce(ExecutorKind::kWorkerPool, r, seconds,
+                                   kBoundedQueueBatches,
+                                   /*equal_rings=*/true);
+    const double ratio =
+        tpt.sink_tps > 0.0 ? pool.sink_tps / tpt.sink_tps : 0.0;
+    const double oversub =
+        static_cast<double>(tpt.tasks) / static_cast<double>(cores);
+    if (r == r_parity) parity_ratio = ratio;
+    if (r == r_oversub) oversub_ratio = ratio;
+    print_point(r, tpt, pool, ratio, oversub);
+    points.Add("r" + std::to_string(r), json_point(tpt, pool, r, ratio,
+                                                   oversub));
+  }
+  bench::PrintRule(widths);
+
+  // Secondary, ungated sweep at the engine defaults (deep rings, the
+  // pool keeping its in-flight cap): the buffering that lets
+  // thread-per-task hide its scheduler waste behind queueing latency
+  // and cold inventory. Gate points only.
+  const size_t deep_capacity = EngineConfig::Brisk().queue_capacity;
+  std::printf("engine defaults (%zu-capacity rings, pool in-flight cap "
+              "on; ungated reference):\n",
+              deep_capacity);
+  bench::PrintRule(widths);
+  bench::JsonObj deep_points;
+  for (const int r : {r_parity, r_oversub}) {
+    const RunResult tpt =
+        RunOnce(ExecutorKind::kThreadPerTask, r, seconds, deep_capacity,
+                /*equal_rings=*/false);
+    const RunResult pool =
+        RunOnce(ExecutorKind::kWorkerPool, r, seconds, deep_capacity,
+                /*equal_rings=*/false);
+    const double ratio =
+        tpt.sink_tps > 0.0 ? pool.sink_tps / tpt.sink_tps : 0.0;
+    const double oversub =
+        static_cast<double>(tpt.tasks) / static_cast<double>(cores);
+    print_point(r, tpt, pool, ratio, oversub);
+    deep_points.Add("r" + std::to_string(r),
+                    json_point(tpt, pool, r, ratio, oversub));
+  }
+  bench::PrintRule(widths);
+  std::printf("parity gate   (r=%d): pool/tpt = %.2f (min 0.95)\n",
+              r_parity, parity_ratio);
+  std::printf("oversub gate  (r=%d): pool/tpt = %.2f (min 2.00)\n",
+              r_oversub, oversub_ratio);
+
+  const bool parity_pass = parity_ratio >= 0.95;
+  const bool oversub_pass = oversub_ratio >= 2.0;
+
+  bench::JsonObj gate_parity;
+  gate_parity.Add("replication", r_parity)
+      .Add("ratio", parity_ratio)
+      .Add("min", 0.95)
+      .Add("pass", parity_pass);
+  bench::JsonObj gate_oversub;
+  gate_oversub.Add("replication", r_oversub)
+      .Add("ratio", oversub_ratio)
+      .Add("min", 2.0)
+      .Add("pass", oversub_pass);
+  bench::JsonObj doc;
+  doc.Add("bench", "executor")
+      .Add("workload",
+           "word_count {1,1,r,r,1}, all instances on socket 0, sink "
+           "throughput, identical capacity-16 rings for both executors "
+           "(pool in-flight cap disabled)")
+      .Add("quick", quick)
+      .Add("host_cores", cores)
+      .Add("seconds_per_point", seconds)
+      .Add("bounded_queue_batches", static_cast<int>(kBoundedQueueBatches))
+      .Add("points", points)
+      .Add("deep_queue_points", deep_points)
+      .Add("gate_parity", gate_parity)
+      .Add("gate_oversub", gate_oversub);
+  if (!bench::WriteJsonFile(out_path, doc)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // CI gates: the pool must not regress the well-provisioned case and
+  // must decisively win the oversubscribed one.
+  if (!parity_pass) {
+    std::fprintf(stderr,
+                 "FAIL: worker-pool below thread-per-task at replication "
+                 "= cores (ratio %.2f < 0.95)\n",
+                 parity_ratio);
+    return 1;
+  }
+  if (!oversub_pass) {
+    std::fprintf(stderr,
+                 "FAIL: worker-pool not >= 2x thread-per-task at 8x "
+                 "oversubscription (ratio %.2f < 2.00)\n",
+                 oversub_ratio);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace brisk
+
+int main(int argc, char** argv) { return brisk::Main(argc, argv); }

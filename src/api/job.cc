@@ -36,7 +36,10 @@ std::string JobReport::ToString() const {
   os << "\n";
   if (stats.duration_s > 0.0) {
     os << "ran " << stats.duration_s << " s on " << stats.tasks.size()
-       << " tasks: " << sink_tuples << " tuples at the sink ("
+       << " tasks (" << stats.executor.threads << " "
+       << (stats.executor.worker_groups > 0 ? "pool workers"
+                                            : "task threads")
+       << "): " << sink_tuples << " tuples at the sink ("
        << sink_throughput_tps() << " tuples/s), p99 latency "
        << sink_latency_ns.Percentile(0.99) / 1e6 << " ms\n";
   }
@@ -80,6 +83,11 @@ Job& Job::WithMachine(hw::MachineSpec machine) {
 
 Job& Job::WithConfig(engine::EngineConfig config) {
   config_ = config;
+  return *this;
+}
+
+Job& Job::WithExecutor(engine::ExecutorKind executor) {
+  config_.executor = executor;
   return *this;
 }
 

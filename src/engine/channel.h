@@ -18,6 +18,7 @@
 
 #include "common/spsc_queue.h"
 #include "common/tuple.h"
+#include "engine/waker.h"
 
 namespace brisk::engine {
 
@@ -38,15 +39,52 @@ class Channel {
       : from_instance_(from_instance),
         to_instance_(to_instance),
         queue_(capacity),
-        recycled_(capacity + 1) {}
+        recycled_(capacity + 1) {
+    producer_full_threshold_ = queue_.capacity();
+  }
 
   int from_instance() const { return from_instance_; }
   int to_instance() const { return to_instance_; }
 
   /// Only moves from `e` on success (safe to retry in a spin loop).
-  bool TryPush(Envelope&& e) { return queue_.TryPush(std::move(e)); }
-  bool TryPop(Envelope* e) { return queue_.TryPop(e); }
+  /// Pushing into an empty queue wakes the consumer's worker (pool
+  /// mode); under saturation the queue is never empty, so the hint is
+  /// off the hot path.
+  bool TryPush(Envelope&& e) {
+    if (consumer_waker_ == nullptr) return queue_.TryPush(std::move(e));
+    const bool was_empty = queue_.EmptyApprox();
+    if (!queue_.TryPush(std::move(e))) return false;
+    if (was_empty) consumer_waker_->Notify();
+    return true;
+  }
+
+  /// Popping from a full queue wakes the producer's worker: it may be
+  /// parked with a batch waiting on back-pressure (PollResult::kBlocked)
+  /// and the pop just made room. "Full" is the producer's view — the
+  /// cooperative in-flight cap when one is set, else the ring capacity.
+  bool TryPop(Envelope* e) {
+    if (producer_waker_ == nullptr) return queue_.TryPop(e);
+    const bool was_full = queue_.SizeApprox() >= producer_full_threshold_;
+    if (!queue_.TryPop(e)) return false;
+    if (was_full) producer_waker_->Notify();
+    return true;
+  }
+
   size_t SizeApprox() const { return queue_.SizeApprox(); }
+
+  /// Worker-pool wiring (pre-start; cleared when the pool shuts down).
+  /// Thread-per-task mode leaves both null and pays one branch.
+  void SetWakers(Waker* consumer, Waker* producer) {
+    consumer_waker_ = consumer;
+    producer_waker_ = producer;
+  }
+
+  /// Occupancy at which the producer considers this channel full (the
+  /// EngineConfig::pool_inflight_batches cap); pops crossing below it
+  /// wake the producer.
+  void SetProducerFullThreshold(size_t batches) {
+    producer_full_threshold_ = batches;
+  }
 
   // BatchPool return path. The roles flip: the channel's consumer task
   // produces into the recycle queue, its producer task consumes — so
@@ -72,6 +110,9 @@ class Channel {
   int to_instance_;
   SpscQueue<Envelope> queue_;
   SpscQueue<JumboTuplePtr> recycled_;
+  Waker* consumer_waker_ = nullptr;
+  Waker* producer_waker_ = nullptr;
+  size_t producer_full_threshold_ = 0;  // set to ring capacity in ctor
 };
 
 }  // namespace brisk::engine

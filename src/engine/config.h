@@ -26,6 +26,23 @@ inline double SpoutBurstCap(int batch_size, double rate_tps) {
                   kSpoutBurstHeadroomSec * rate_tps);
 }
 
+/// How placed instances are executed:
+///   kWorkerPool    — one worker group per plan socket (sized from the
+///                    machine's cores-per-socket, capped by the host),
+///                    cooperatively round-robining Task::Poll quanta so
+///                    replication ≫ cores never oversubscribes the OS
+///                    scheduler. This is the native mode.
+///   kThreadPerTask — the legacy model: one dedicated OS thread per
+///                    instance, spinning on back-pressure. Kept for A/B
+///                    benching (bench_executor) and as the behavioral
+///                    reference.
+enum class ExecutorKind { kThreadPerTask, kWorkerPool };
+
+inline const char* ExecutorKindName(ExecutorKind kind) {
+  return kind == ExecutorKind::kWorkerPool ? "worker-pool"
+                                           : "thread-per-task";
+}
+
 struct EngineConfig {
   /// Tuples per jumbo tuple (§5.2); 1 disables batching.
   int batch_size = 64;
@@ -57,13 +74,64 @@ struct EngineConfig {
   /// DESIGN.md §1).
   bool numa_emulation = false;
 
-  /// Pin each task thread to a physical core (instance id modulo the
-  /// host's core count). Meaningful only when the host has enough
-  /// cores; defaults off for CI-sized machines.
+  /// Pin execution threads to physical cores, derived from the plan's
+  /// socket assignment (socket × cores-per-socket + slot) so RLAS
+  /// placement is honored by the OS too. Meaningful only when the host
+  /// has enough cores; defaults off for CI-sized machines.
   bool pin_threads = false;
 
   /// External ingress rate per topology (tuples/sec), 0 = saturated.
   double spout_rate_tps = 0.0;
+
+  /// Execution model (see ExecutorKind).
+  ExecutorKind executor = ExecutorKind::kWorkerPool;
+
+  /// Worker threads per socket group in kWorkerPool mode. 0 derives it
+  /// from the deployed MachineSpec's cores-per-socket, capped by the
+  /// host's real core count split across the plan's sockets (so an
+  /// emulated 8-socket plan on a laptop never spawns 144 workers).
+  int workers_per_socket = 0;
+
+  /// Work quantum per Task::Poll visit: a bolt drains up to this many
+  /// envelopes, a spout produces up to this many batches, before the
+  /// worker moves to its next task.
+  int poll_budget = 8;
+
+  /// Worker-pool producers treat a channel already holding this many
+  /// undelivered batches as full and park the next one (cooperative
+  /// back-pressure) instead of filling the whole ring. This bounds the
+  /// cold in-flight inventory so batches are consumed cache-warm soon
+  /// after production — with deep rings a single core otherwise
+  /// accumulates megabytes of queued tuples and pays a capacity miss
+  /// per batch. Clamped to queue_capacity; <= 0 disables the cap.
+  /// (Thread-per-task mode ignores it: parking is what makes a short
+  /// effective queue cheap, and legacy spinning would burn cores.)
+  int pool_inflight_batches = 16;
+
+  /// How long an idle worker parks before re-scanning on its own.
+  /// Producers wake it earlier through the channel Waker hints; the
+  /// timeout covers wakes the hints cannot see (token-bucket refills).
+  int park_timeout_us = 500;
+
+  /// Stop() stops spouts first and lets bolts drain in-flight
+  /// envelopes (bounded by drain_timeout_s) before halting, so a
+  /// bounded source's tuples all reach the sink instead of being
+  /// dropped with the queues.
+  bool graceful_drain = true;
+  double drain_timeout_s = 1.0;
+
+  /// Producer-side in-flight bound per channel, in batches: the
+  /// cooperative cap clamped to the queue capacity, or kUncapped when
+  /// disabled (the ring's own capacity is then the only bound). The
+  /// single source of truth for both the task's park threshold and the
+  /// channel's producer wake threshold — they must agree, or producers
+  /// park at one occupancy and only wake (by timeout) at another.
+  static constexpr size_t kUncapped = ~size_t{0};
+  size_t EffectiveInflightCap() const {
+    if (pool_inflight_batches <= 0) return kUncapped;
+    return std::min(queue_capacity,
+                    static_cast<size_t>(pool_inflight_batches));
+  }
 
   /// BriskStream's native configuration.
   static EngineConfig Brisk() { return EngineConfig{}; }

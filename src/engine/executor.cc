@@ -1,0 +1,290 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "engine/spin.h"
+
+namespace brisk::engine {
+
+namespace {
+
+int HostCores() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void PinThreadToCpu(std::thread& thread, int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+#else
+  (void)thread;
+  (void)cpu;
+#endif
+}
+
+/// Wait-strategy thresholds: a worker that makes no progress spins
+/// kSpinPasses times, yields kYieldPasses times, then parks on its
+/// Waker until notified or the park timeout elapses.
+constexpr int kSpinPasses = 64;
+constexpr int kYieldPasses = 16;
+
+}  // namespace
+
+int PinCpuForSocketSlot(int socket, int slot, int cores_per_socket,
+                        int host_cores) {
+  if (host_cores <= 0) return -1;
+  if (socket < 0) socket = 0;
+  if (slot < 0) slot = 0;
+  if (cores_per_socket <= 0) cores_per_socket = host_cores;
+  const long cpu = static_cast<long>(socket) * cores_per_socket +
+                   (slot % cores_per_socket);
+  return static_cast<int>(cpu % host_cores);
+}
+
+int WorkersPerSocketFor(const EngineConfig& config,
+                        const hw::MachineSpec* machine, int sockets_used) {
+  if (config.workers_per_socket > 0) return config.workers_per_socket;
+  const int host_share =
+      std::max(1, HostCores() / std::max(1, sockets_used));
+  if (machine != nullptr && machine->cores_per_socket() > 0) {
+    return std::min(machine->cores_per_socket(), host_share);
+  }
+  return host_share;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Thread-per-task (legacy).
+// ---------------------------------------------------------------------------
+
+class ThreadPerTaskExecutor final : public Executor {
+ public:
+  ThreadPerTaskExecutor(const EngineConfig& config, StopSignals* signals,
+                        std::vector<Task*> tasks,
+                        const hw::MachineSpec* machine)
+      : config_(config),
+        signals_(signals),
+        tasks_(std::move(tasks)),
+        machine_(machine) {}
+
+  Status Start() override {
+    threads_.reserve(tasks_.size());
+    const int host_cores = HostCores();
+    const int cps = machine_ != nullptr ? machine_->cores_per_socket() : 0;
+    // Slot of each instance within its plan socket, in instance order,
+    // so co-located replicas spread over that socket's cores instead of
+    // all landing on `socket × cores_per_socket`.
+    std::map<int, int> next_slot;
+    for (Task* task : tasks_) {
+      threads_.emplace_back(
+          [task, signals = signals_] { task->Run(signals); });
+      if (config_.pin_threads) {
+        const int slot = next_slot[task->socket()]++;
+        PinThreadToCpu(threads_.back(),
+                       PinCpuForSocketSlot(task->socket(), slot, cps,
+                                           host_cores));
+      }
+    }
+    return Status::OK();
+  }
+
+  void Join() override {
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+  }
+
+  ExecutorStats stats() const override {
+    ExecutorStats s;
+    s.threads = static_cast<int>(tasks_.size());
+    return s;
+  }
+
+ private:
+  EngineConfig config_;
+  StopSignals* signals_;
+  std::vector<Task*> tasks_;
+  const hw::MachineSpec* machine_;
+  std::vector<std::thread> threads_;
+};
+
+// ---------------------------------------------------------------------------
+// Socket-aware worker pool.
+// ---------------------------------------------------------------------------
+
+class WorkerPoolExecutor final : public Executor {
+ public:
+  WorkerPoolExecutor(const EngineConfig& config, StopSignals* signals,
+                     std::vector<Task*> tasks,
+                     std::vector<Channel*> channels,
+                     const hw::MachineSpec* machine)
+      : config_(config),
+        signals_(signals),
+        channels_(std::move(channels)),
+        machine_(machine) {
+    // Group tasks by their plan socket, preserving instance order.
+    std::map<int, std::vector<Task*>> by_socket;
+    int max_instance = -1;
+    for (Task* t : tasks) {
+      by_socket[std::max(0, t->socket())].push_back(t);
+      max_instance = std::max(max_instance, t->instance_id());
+    }
+    worker_groups_ = static_cast<int>(by_socket.size());
+    const int per_socket = WorkersPerSocketFor(
+        config_, machine_, worker_groups_);
+    // One Worker object per (socket, index); tasks round-robin within
+    // their socket's group. Never spawn workers with nothing to do.
+    for (auto& [socket, socket_tasks] : by_socket) {
+      const int n = std::min(per_socket,
+                             static_cast<int>(socket_tasks.size()));
+      const size_t first = workers_.size();
+      for (int w = 0; w < n; ++w) {
+        workers_.push_back(std::make_unique<Worker>());
+        workers_.back()->socket = socket;
+        workers_.back()->index_in_socket = w;
+      }
+      for (size_t i = 0; i < socket_tasks.size(); ++i) {
+        workers_[first + i % n]->tasks.push_back(socket_tasks[i]);
+      }
+    }
+    // instance id → owning worker, for the channel Waker hints.
+    std::vector<Waker*> waker_of(static_cast<size_t>(max_instance) + 1,
+                                 nullptr);
+    for (auto& w : workers_) {
+      for (Task* t : w->tasks) {
+        waker_of[static_cast<size_t>(t->instance_id())] = &w->waker;
+      }
+    }
+    // Producers consider a channel "full" at the cooperative in-flight
+    // cap, so pops crossing below it wake a parked producer. Uncapped
+    // keeps the channel's default (the ring's real capacity).
+    const size_t inflight_cap = config_.EffectiveInflightCap();
+    for (Channel* ch : channels_) {
+      ch->SetWakers(waker_of[static_cast<size_t>(ch->to_instance())],
+                    waker_of[static_cast<size_t>(ch->from_instance())]);
+      if (inflight_cap != EngineConfig::kUncapped) {
+        ch->SetProducerFullThreshold(inflight_cap);
+      }
+    }
+  }
+
+  ~WorkerPoolExecutor() override {
+    // Channels outlive the executor inside the runtime; drop the
+    // dangling Waker pointers.
+    for (Channel* ch : channels_) ch->SetWakers(nullptr, nullptr);
+  }
+
+  WorkerPoolExecutor(const WorkerPoolExecutor&) = delete;
+  WorkerPoolExecutor& operator=(const WorkerPoolExecutor&) = delete;
+
+  Status Start() override {
+    const int host_cores = HostCores();
+    const int cps = machine_ != nullptr ? machine_->cores_per_socket() : 0;
+    for (auto& w : workers_) {
+      w->thread = std::thread([this, worker = w.get()] { Loop(worker); });
+      if (config_.pin_threads) {
+        PinThreadToCpu(w->thread,
+                       PinCpuForSocketSlot(w->socket, w->index_in_socket,
+                                           cps, host_cores));
+      }
+    }
+    return Status::OK();
+  }
+
+  void NotifyAll() override {
+    for (auto& w : workers_) w->waker.Notify();
+  }
+
+  void Join() override {
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+  }
+
+  ExecutorStats stats() const override {
+    ExecutorStats s;
+    s.threads = static_cast<int>(workers_.size());
+    s.worker_groups = worker_groups_;
+    for (const auto& w : workers_) {
+      s.parks += w->parks;
+      s.wakes += w->wakes;
+    }
+    return s;
+  }
+
+ private:
+  struct Worker {
+    Waker waker;
+    std::vector<Task*> tasks;
+    int socket = 0;
+    int index_in_socket = 0;
+    uint64_t parks = 0;
+    uint64_t wakes = 0;
+    std::thread thread;
+  };
+
+  void Loop(Worker* w) {
+    const int budget = std::max(1, config_.poll_budget);
+    const auto park_timeout =
+        std::chrono::microseconds(std::max(1, config_.park_timeout_us));
+    int idle_passes = 0;
+    while (!signals_->stop_all.load(std::memory_order_relaxed)) {
+      bool progress = false;
+      for (Task* t : w->tasks) {
+        if (t->Poll(budget) == PollResult::kProgress) progress = true;
+      }
+      if (progress) {
+        idle_passes = 0;
+        continue;
+      }
+      // Idle (or everything blocked/done): spin → yield → park. The
+      // channel Wakers end the park early when work arrives or
+      // back-pressure releases; the timeout covers everything else.
+      ++idle_passes;
+      if (idle_passes <= kSpinPasses) {
+        CpuRelax();
+      } else if (idle_passes <= kSpinPasses + kYieldPasses) {
+        std::this_thread::yield();
+      } else {
+        ++w->parks;
+        if (w->waker.WaitFor(park_timeout)) ++w->wakes;
+      }
+    }
+  }
+
+  EngineConfig config_;
+  StopSignals* signals_;
+  std::vector<Channel*> channels_;
+  const hw::MachineSpec* machine_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  int worker_groups_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Executor> MakeExecutor(const EngineConfig& config,
+                                       StopSignals* signals,
+                                       std::vector<Task*> tasks,
+                                       std::vector<Channel*> channels,
+                                       const hw::MachineSpec* machine) {
+  if (config.executor == ExecutorKind::kWorkerPool) {
+    return std::make_unique<WorkerPoolExecutor>(
+        config, signals, std::move(tasks), std::move(channels), machine);
+  }
+  return std::make_unique<ThreadPerTaskExecutor>(config, signals,
+                                                 std::move(tasks), machine);
+}
+
+}  // namespace brisk::engine

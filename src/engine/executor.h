@@ -1,0 +1,75 @@
+// Executors: how a placed plan's tasks get CPU time.
+//
+// ThreadPerTaskExecutor is the legacy model — one dedicated OS thread
+// per instance. WorkerPoolExecutor is the native model: one worker
+// group per plan socket (sized from the machine's cores-per-socket,
+// capped by the host), each worker cooperatively round-robining
+// Task::Poll quanta over its assigned tasks, with a spin→yield→park
+// wait strategy and Waker hints from the channels — so RLAS placement
+// is honored at execution time and replication ≫ cores no longer
+// collapses into OS scheduler thrash.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/channel.h"
+#include "engine/config.h"
+#include "engine/task.h"
+#include "engine/waker.h"
+#include "hardware/machine_spec.h"
+
+namespace brisk::engine {
+
+/// Aggregate executor-side counters for one run.
+struct ExecutorStats {
+  int threads = 0;        ///< OS threads the executor spawned
+  int worker_groups = 0;  ///< socket groups (0 for thread-per-task)
+  uint64_t parks = 0;     ///< times an idle worker parked on its Waker
+  uint64_t wakes = 0;     ///< parks ended by a Notify (vs timeout)
+};
+
+/// CPU for a thread serving `slot` (0-based) on plan socket `socket`:
+/// socket-major layout (socket × cores_per_socket + slot), wrapped to
+/// the host's real cores. `cores_per_socket <= 0` (no machine spec)
+/// degrades to treating the host as one socket.
+int PinCpuForSocketSlot(int socket, int slot, int cores_per_socket,
+                        int host_cores);
+
+/// Worker-group size per socket: the config override, else the
+/// machine's cores-per-socket capped by the host's real core count
+/// split across the plan's sockets — an emulated many-socket plan on a
+/// small host never spawns more workers than cores.
+int WorkersPerSocketFor(const EngineConfig& config,
+                        const hw::MachineSpec* machine, int sockets_used);
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Spawns execution threads. Tasks must already be Bind()-ed.
+  virtual Status Start() = 0;
+
+  /// Wakes every parked worker so a freshly flipped stop signal is
+  /// observed promptly. No-op for thread-per-task.
+  virtual void NotifyAll() {}
+
+  /// Joins all threads; requires StopSignals::stop_all set.
+  virtual void Join() = 0;
+
+  virtual ExecutorStats stats() const = 0;
+};
+
+/// Builds the executor selected by `config.executor`. `machine` (the
+/// deployed MachineSpec, nullable) supplies cores-per-socket for
+/// pinning and worker sizing; `channels` get Waker hints wired in pool
+/// mode. All pointers must outlive the executor.
+std::unique_ptr<Executor> MakeExecutor(const EngineConfig& config,
+                                       StopSignals* signals,
+                                       std::vector<Task*> tasks,
+                                       std::vector<Channel*> channels,
+                                       const hw::MachineSpec* machine);
+
+}  // namespace brisk::engine

@@ -4,32 +4,7 @@
 
 #include "common/logging.h"
 
-#if defined(__linux__)
-#include <pthread.h>
-#include <sched.h>
-#endif
-
 namespace brisk::engine {
-
-namespace {
-
-void MaybePin(std::thread& thread, int instance_id, bool enabled) {
-#if defined(__linux__)
-  if (!enabled) return;
-  const unsigned cores = std::thread::hardware_concurrency();
-  if (cores == 0) return;
-  cpu_set_t set;
-  CPU_ZERO(&set);
-  CPU_SET(static_cast<unsigned>(instance_id) % cores, &set);
-  pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
-#else
-  (void)thread;
-  (void)instance_id;
-  (void)enabled;
-#endif
-}
-
-}  // namespace
 
 StatusOr<std::unique_ptr<BriskRuntime>> BriskRuntime::Create(
     const api::Topology* topo, const model::ExecutionPlan& plan,
@@ -46,12 +21,15 @@ StatusOr<std::unique_ptr<BriskRuntime>> BriskRuntime::Create(
   auto rt = std::unique_ptr<BriskRuntime>(new BriskRuntime());
   rt->topo_ = topo;
   rt->config_ = config;
+  rt->numa_ = numa;
 
   const int n = plan.num_instances();
   rt->instance_sockets_.resize(n);
+  rt->instance_op_.resize(n);
   int spout_instances = 0;
   for (int i = 0; i < n; ++i) {
     rt->instance_sockets_[i] = plan.instance(i).socket;
+    rt->instance_op_[i] = plan.instance(i).op;
     if (topo->op(plan.instance(i).op).is_spout) ++spout_instances;
   }
 
@@ -117,23 +95,95 @@ BriskRuntime::~BriskRuntime() {
 
 Status BriskRuntime::Start() {
   if (running_) return Status::FailedPrecondition("already running");
-  stop_.store(false);
-  threads_.reserve(tasks_.size());
-  started_at_ = std::chrono::steady_clock::now();
+  signals_.stop_all.store(false);
+  signals_.stop_spouts.store(false);
+
+  const bool cooperative = config_.executor == ExecutorKind::kWorkerPool;
+  std::vector<Task*> task_ptrs;
+  task_ptrs.reserve(tasks_.size());
   for (auto& task : tasks_) {
-    threads_.emplace_back([t = task.get(), this] { t->Run(&stop_); });
-    MaybePin(threads_.back(), task->instance_id(), config_.pin_threads);
+    task->Bind(&signals_, cooperative);
+    task_ptrs.push_back(task.get());
   }
+  std::vector<Channel*> channel_ptrs;
+  channel_ptrs.reserve(channels_.size());
+  for (auto& ch : channels_) channel_ptrs.push_back(ch.get());
+
+  executor_ = MakeExecutor(config_, &signals_, std::move(task_ptrs),
+                           std::move(channel_ptrs),
+                           numa_ != nullptr ? &numa_->machine() : nullptr);
+  started_at_ = std::chrono::steady_clock::now();
+  BRISK_RETURN_NOT_OK(executor_->Start());
   running_ = true;
   return Status::OK();
+}
+
+bool BriskRuntime::WaitForDrain(double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  uint64_t last_consumed = ~uint64_t{0};
+  int stable_checks = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool channels_empty = true;
+    for (const auto& ch : channels_) {
+      if (ch->SizeApprox() != 0) {
+        channels_empty = false;
+        break;
+      }
+    }
+    // Racy reads are fine here: we require the sum to be *stable*
+    // across consecutive checks with empty channels and no envelope
+    // parked on back-pressure, which only a quiescent engine sustains.
+    // (A parked envelope is invisible to the channels — its producer
+    // may be waiting out park_timeout_us, longer than our window.)
+    uint64_t consumed = 0;
+    size_t parked = 0;
+    for (const auto& task : tasks_) {
+      consumed += task->stats().tuples_in;
+      parked += task->pending_live();
+    }
+    if (channels_empty && parked == 0 && consumed == last_consumed) {
+      if (++stable_checks >= 3) return true;
+    } else {
+      stable_checks = 0;
+    }
+    last_consumed = consumed;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return false;
 }
 
 RunStats BriskRuntime::Stop() {
   RunStats stats;
   if (!running_) return stats;
-  stop_.store(true);
-  for (auto& t : threads_) t.join();
-  threads_.clear();
+  if (config_.graceful_drain) {
+    // Phase 1: stop production, let bolts drain what is in flight.
+    const auto drain_start = std::chrono::steady_clock::now();
+    signals_.stop_spouts.store(true);
+    executor_->NotifyAll();
+    stats.drained = WaitForDrain(config_.drain_timeout_s);
+    stats.drain_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      drain_start)
+            .count();
+  }
+  // Phase 2: halt everything, then run the shutdown epilogue in
+  // topological operator order: each task consumes what is left on
+  // its inputs and flushes its operator, so stateful bolts' finals
+  // propagate all the way to the sinks even though no execution
+  // thread is running anymore.
+  signals_.stop_all.store(true);
+  executor_->NotifyAll();
+  executor_->Join();
+  for (const int op : topo_->topological_order()) {
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      if (instance_op_[i] == op) tasks_[i]->Finalize();
+    }
+  }
+  stats.executor = executor_->stats();
+  executor_.reset();
   running_ = false;
   stats.duration_s = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - started_at_)

@@ -1,5 +1,6 @@
 // BriskRuntime: instantiates a placed execution plan into tasks +
-// channels, runs them on dedicated threads, and reports run statistics.
+// channels, executes them (worker pool or thread-per-task), and
+// reports run statistics.
 #pragma once
 
 #include <atomic>
@@ -11,6 +12,7 @@
 #include "common/status.h"
 #include "engine/channel.h"
 #include "engine/config.h"
+#include "engine/executor.h"
 #include "engine/task.h"
 #include "hardware/numa_emulator.h"
 #include "model/execution_plan.h"
@@ -23,9 +25,14 @@ struct RunStats {
   std::vector<TaskStats> tasks;  ///< indexed by plan instance id
   uint64_t total_emitted = 0;
   uint64_t total_consumed = 0;
+  /// Graceful drain reached quiescence before stopping (always false
+  /// when EngineConfig::graceful_drain is off).
+  bool drained = false;
+  double drain_seconds = 0.0;
+  ExecutorStats executor;
 };
 
-/// Owns tasks, channels and threads for one deployed application.
+/// Owns tasks, channels and the executor for one deployed application.
 ///
 /// Lifecycle: Create() -> Start() -> (workload runs) -> Stop().
 /// Throughput/latency are observed through the application's
@@ -45,10 +52,15 @@ class BriskRuntime {
   BriskRuntime(const BriskRuntime&) = delete;
   BriskRuntime& operator=(const BriskRuntime&) = delete;
 
-  /// Spawns one thread per task. Idempotent-error: fails if running.
+  /// Stands up the configured executor (EngineConfig::executor): a
+  /// socket-aware worker pool honoring the plan's placement, or one
+  /// thread per task. Idempotent-error: fails if running.
   Status Start();
 
-  /// Signals stop, joins all threads, and returns run statistics.
+  /// Stops the engine and returns run statistics. With graceful_drain,
+  /// spouts stop first and bolts drain in-flight envelopes (bounded by
+  /// drain_timeout_s) before everything halts, so a bounded source's
+  /// tuples all reach the sink.
   RunStats Stop();
 
   /// Convenience: Start, sleep `seconds` of wall-clock, Stop.
@@ -59,13 +71,20 @@ class BriskRuntime {
  private:
   BriskRuntime() = default;
 
+  /// Polls until every channel is empty and consumption has stopped
+  /// advancing (or `timeout_s` elapses). Spouts must already be
+  /// stopped. Returns true on quiescence.
+  bool WaitForDrain(double timeout_s);
+
   const api::Topology* topo_ = nullptr;
   EngineConfig config_;
+  const hw::NumaEmulator* numa_ = nullptr;
   std::vector<int> instance_sockets_;
+  std::vector<int> instance_op_;  ///< operator id per instance
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::unique_ptr<Task>> tasks_;
-  std::vector<std::thread> threads_;
-  std::atomic<bool> stop_{false};
+  std::unique_ptr<Executor> executor_;
+  StopSignals signals_;
   bool running_ = false;
   std::chrono::steady_clock::time_point started_at_;
 };

@@ -1,0 +1,18 @@
+// Busy-wait primitive shared by the engine's spin loops.
+#pragma once
+
+#include <thread>
+
+namespace brisk::engine {
+
+/// Hints the CPU that this is a spin-wait iteration (x86 `pause`);
+/// degrades to a scheduler yield where no such hint exists.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace brisk::engine

@@ -6,18 +6,11 @@
 
 #include "common/logging.h"
 #include "common/serde.h"
+#include "engine/spin.h"
 
 namespace brisk::engine {
 
 namespace {
-
-inline void CpuRelax() {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#else
-  std::this_thread::yield();
-#endif
-}
 
 inline int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -56,32 +49,55 @@ Status Task::Prepare(const api::OperatorContext& ctx) {
   return Status::FailedPrecondition("task has neither spout nor bolt");
 }
 
+void Task::Bind(const StopSignals* signals, bool cooperative) {
+  signals_ = signals;
+  cooperative_ = cooperative;
+  source_done_ = false;
+  finalized_ = false;
+  finalizing_ = false;
+  pending_.clear();
+  pending_head_ = 0;
+  pending_live_ = 0;
+  last_refill_ns_ = 0;
+  staged_dirty_ = false;
+  // Cooperative in-flight cap: bound the cold inventory per channel so
+  // batches are consumed soon after production (cache-warm). Parking
+  // is cheap in pool mode; legacy mode must use the full ring, since
+  // it would spin the gap away.
+  soft_cap_ = cooperative_ ? config_.EffectiveInflightCap() : ~size_t{0};
+}
+
 void Task::LegacyPerTupleWork(const Tuple& t) {
   if (config_.duplicate_headers) {
     // Real allocator churn: the duplicated metadata object a per-tuple
-    // runtime allocates and immediately abandons.
+    // runtime allocates and immediately abandons. The volatile store
+    // keeps the allocation + fill observable without touching any real
+    // counter.
     auto header = std::make_unique<SimulatedTupleHeader>();
     header->source_task = instance_id_;
     header->stream = t.stream_id;
     header->sequence = static_cast<int64_t>(stats_.tuples_out);
-    // Touch it so the allocation is not elided.
-    if (header->context[0] != 0) stats_.backpressure_spins += 0;
+    legacy_sink_ =
+        static_cast<uint64_t>(header->sequence) ^
+        static_cast<uint64_t>(reinterpret_cast<uintptr_t>(header.get()));
   }
   if (config_.extra_condition_checks) {
     // Guard/bookkeeping work (~dozens of branches): checksum the
     // field metadata the way exception scaffolding and ACK tracking
-    // walk each tuple in a distributed runtime.
+    // walk each tuple in a distributed runtime. Sunk into the volatile
+    // so the hash is computed but never corrupts telemetry.
     uint64_t h = 1469598103934665603ULL;
     for (const auto& f : t.fields) {
       h = (h ^ static_cast<uint64_t>(f.index())) * 1099511628211ULL;
       h = (h ^ FieldSizeBytes(f)) * 1099511628211ULL;
     }
-    if ((h & 0xFFF) == 0xABC) ++stats_.backpressure_spins;  // keep live
+    legacy_sink_ = h;
   }
 }
 
 void Task::AppendTuple(OutRoute& route, size_t i, Tuple&& t) {
   JumboTuple& buf = buffers_[route.buffer_index[i]];
+  staged_dirty_ = true;
   buf.tuples.push_back(std::move(t));
   if (static_cast<int>(buf.tuples.size()) >= config_.batch_size) {
     FlushBuffer(route.buffer_index[i], route.channels[i], false);
@@ -141,11 +157,62 @@ void Task::EmitTo(uint16_t stream_id, Tuple t) {
   }
 }
 
-void Task::FlushBuffer(int buffer_idx, Channel* channel, bool force) {
+bool Task::PushEnvelope(Envelope&& env, Channel* channel) {
+  if (cooperative_) {
+    // Preserve per-channel batch order: while anything is parked, new
+    // envelopes queue behind it instead of overtaking. The in-flight
+    // cap is lifted during Finalize — the consumer is no longer
+    // running concurrently, it drains everything in its own Finalize,
+    // and capping here would drop stateful finals early.
+    const size_t cap = finalizing_ ? ~size_t{0} : soft_cap_;
+    if (pending_head_ >= pending_.size() &&
+        channel->SizeApprox() < cap && channel->TryPush(std::move(env))) {
+      return true;
+    }
+    if (signals_ != nullptr &&
+        signals_->stop_all.load(std::memory_order_relaxed)) {
+      return true;  // shutdown: in-flight batch is dropped, like legacy
+    }
+    ++stats_.backpressure_parks;
+    pending_.push_back(PendingPush{std::move(env), channel});
+    pending_live_ = pending_.size() - pending_head_;
+    return false;
+  }
+  // Legacy back-pressure: spin until the consumer drains (or we are
+  // stopped, in which case the in-flight batch is dropped).
+  while (!channel->TryPush(std::move(env))) {
+    ++stats_.backpressure_spins;
+    if (signals_ != nullptr &&
+        signals_->stop_all.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    CpuRelax();
+  }
+  return true;
+}
+
+bool Task::TryDrainPending() {
+  const size_t cap = finalizing_ ? ~size_t{0} : soft_cap_;
+  while (pending_head_ < pending_.size()) {
+    PendingPush& p = pending_[pending_head_];
+    if (p.channel->SizeApprox() >= cap ||
+        !p.channel->TryPush(std::move(p.env))) {
+      pending_live_ = pending_.size() - pending_head_;
+      return false;
+    }
+    ++pending_head_;
+  }
+  pending_.clear();
+  pending_head_ = 0;
+  pending_live_ = 0;
+  return true;
+}
+
+bool Task::FlushBuffer(int buffer_idx, Channel* channel, bool force) {
   JumboTuple& buf = buffers_[buffer_idx];
-  if (buf.tuples.empty()) return;
+  if (buf.tuples.empty()) return true;
   if (!force && static_cast<int>(buf.tuples.size()) < config_.batch_size) {
-    return;
+    return true;
   }
   // BatchPool: prefer an empty shell the consumer handed back over the
   // allocator. Steady state cycles the same shells (and their tuple /
@@ -172,21 +239,21 @@ void Task::FlushBuffer(int buffer_idx, Channel* channel, bool force) {
   }
   env.batch = std::move(batch);
   ++stats_.batches_out;
-  // Back-pressure: spin until the consumer drains (or we are stopped,
-  // in which case the in-flight batch is dropped).
-  while (!channel->TryPush(std::move(env))) {
-    ++stats_.backpressure_spins;
-    if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) return;
-    CpuRelax();
-  }
+  return PushEnvelope(std::move(env), channel);
 }
 
-void Task::FlushAll(bool force) {
+bool Task::FlushAll(bool force) {
+  if (force && !staged_dirty_) return pending_head_ >= pending_.size();
+  bool all_pushed = true;
   for (auto& route : routes_) {
     for (size_t i = 0; i < route.channels.size(); ++i) {
-      FlushBuffer(route.buffer_index[i], route.channels[i], force);
+      if (!FlushBuffer(route.buffer_index[i], route.channels[i], force)) {
+        all_pushed = false;
+      }
     }
   }
+  if (force && all_pushed) staged_dirty_ = false;
+  return all_pushed;
 }
 
 void Task::Consume(Envelope env, Channel* from) {
@@ -230,14 +297,15 @@ void Task::Consume(Envelope env, Channel* from) {
   }
 }
 
-void Task::RunSpout(const std::atomic<bool>* stop) {
+void Task::RunSpout() {
   last_refill_ns_ = NowNs();
   // Burst capacity must cover a scheduler stall, or budget accrued
   // while descheduled is discarded and the spout can never catch back
   // up to the target rate.
   const double burst_cap =
       SpoutBurstCap(config_.batch_size, rate_per_instance_);
-  while (!stop->load(std::memory_order_relaxed)) {
+  while (!signals_->stop_all.load(std::memory_order_relaxed) &&
+         !signals_->stop_spouts.load(std::memory_order_relaxed)) {
     if (rate_per_instance_ > 0.0) {
       const int64_t now = NowNs();
       tokens_ += static_cast<double>(now - last_refill_ns_) * 1e-9 *
@@ -258,12 +326,11 @@ void Task::RunSpout(const std::atomic<bool>* stop) {
     stats_.tuples_in += produced;
     if (produced == 0) break;  // bounded source exhausted
   }
-  FlushAll(true);
 }
 
-void Task::RunBolt(const std::atomic<bool>* stop) {
+void Task::RunBolt() {
   int idle_spins = 0;
-  while (!stop->load(std::memory_order_relaxed)) {
+  while (!signals_->stop_all.load(std::memory_order_relaxed)) {
     bool any = false;
     for (size_t k = 0; k < inputs_.size(); ++k) {
       Channel* ch = inputs_[(in_cursor_ + k) % inputs_.size()];
@@ -289,17 +356,118 @@ void Task::RunBolt(const std::atomic<bool>* stop) {
       idle_spins = 0;
     }
   }
-  if (bolt_) bolt_->Flush(this);
-  FlushAll(true);
 }
 
-void Task::Run(const std::atomic<bool>* stop) {
-  stop_ = stop;
+void Task::Run(const StopSignals* signals) {
+  Bind(signals, /*cooperative=*/false);
   if (spout_) {
-    RunSpout(stop);
+    RunSpout();
+    // Deliver staged partials while the consumers still run, so a
+    // graceful drain sees a bounded source's full output.
+    FlushAll(true);
   } else {
-    RunBolt(stop);
+    RunBolt();
   }
+  // Operator flush happens in the runtime's post-join Finalize pass,
+  // in topological order, so finals can propagate to the sinks.
+}
+
+PollResult Task::PollSpout(int budget) {
+  if (source_done_) return PollResult::kDone;
+  if (signals_->stop_spouts.load(std::memory_order_relaxed) ||
+      signals_->stop_all.load(std::memory_order_relaxed)) {
+    // Drain protocol: push out everything staged before reporting done.
+    if (!FlushAll(true)) return PollResult::kBlocked;
+    source_done_ = true;
+    return PollResult::kDone;
+  }
+  const double burst_cap =
+      SpoutBurstCap(config_.batch_size, rate_per_instance_);
+  bool progressed = false;
+  for (int b = 0; b < budget; ++b) {
+    if (rate_per_instance_ > 0.0) {
+      const int64_t now = NowNs();
+      if (last_refill_ns_ == 0) last_refill_ns_ = now;
+      tokens_ += static_cast<double>(now - last_refill_ns_) * 1e-9 *
+                 rate_per_instance_;
+      last_refill_ns_ = now;
+      tokens_ = std::min(tokens_, burst_cap);
+      if (tokens_ < config_.batch_size) {
+        if (!FlushAll(true)) return PollResult::kBlocked;
+        return progressed ? PollResult::kProgress : PollResult::kIdle;
+      }
+      tokens_ -= config_.batch_size;
+    }
+    const int64_t t0 = NowNs();
+    const size_t produced =
+        spout_->NextBatch(static_cast<size_t>(config_.batch_size), this);
+    stats_.busy_ns += static_cast<uint64_t>(NowNs() - t0);
+    stats_.tuples_in += produced;
+    if (produced == 0) {  // bounded source exhausted
+      if (!FlushAll(true)) return PollResult::kBlocked;
+      source_done_ = true;
+      return PollResult::kDone;
+    }
+    progressed = true;
+    // Back-pressure hit mid-emit: yield the worker to the consumers.
+    if (pending_head_ < pending_.size()) return PollResult::kProgress;
+  }
+  return PollResult::kProgress;
+}
+
+PollResult Task::PollBolt(int budget) {
+  bool any = false;
+  for (int n = 0; n < budget; ++n) {
+    Envelope env;
+    Channel* from = nullptr;
+    for (size_t k = 0; k < inputs_.size(); ++k) {
+      Channel* ch = inputs_[(in_cursor_ + k) % inputs_.size()];
+      if (ch->TryPop(&env)) {
+        in_cursor_ = (in_cursor_ + k + 1) % inputs_.size();
+        from = ch;
+        break;
+      }
+    }
+    if (from == nullptr) break;
+    Consume(std::move(env), from);
+    any = true;
+    // Downstream full: stop pulling input until the parked envelope
+    // lands, or this task's staging memory would grow unboundedly.
+    if (pending_head_ < pending_.size()) return PollResult::kProgress;
+  }
+  if (!any) {
+    // Idle: push out partial batches so low-rate streams progress.
+    if (!FlushAll(true)) return PollResult::kBlocked;
+    return PollResult::kIdle;
+  }
+  return PollResult::kProgress;
+}
+
+PollResult Task::Poll(int budget) {
+  if (!TryDrainPending()) return PollResult::kBlocked;
+  return spout_ ? PollSpout(budget) : PollBolt(budget);
+}
+
+void Task::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  finalizing_ = true;
+  TryDrainPending();
+  if (bolt_) {
+    // Upstream operators finalized before us (topological order), so
+    // anything still queued on the inputs — late partials, upstream
+    // finals — is consumed now, before this operator's own flush.
+    Envelope env;
+    for (Channel* ch : inputs_) {
+      while (ch->TryPop(&env)) Consume(std::move(env), ch);
+    }
+    bolt_->Flush(this);
+  }
+  FlushAll(true);
+  TryDrainPending();
+  // Anything still parked now found the ring itself full — more
+  // finals per consumer channel than queue slots; it drops with the
+  // task, the one bounded-memory ceiling of the shutdown epilogue.
 }
 
 }  // namespace brisk::engine

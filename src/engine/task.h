@@ -1,6 +1,16 @@
 // Task: the basic processing unit of BriskStream (Appendix A) — an
 // executor wrapping one operator replica plus a partition controller
 // that buffers output tuples into per-consumer jumbo tuples.
+//
+// A task can be driven two ways:
+//   - Run(): the legacy thread-per-task body, looping until stopped
+//     and spinning on back-pressure (ExecutorKind::kThreadPerTask);
+//   - Poll(budget): a resumable work quantum for the worker-pool
+//     executor — a spout produces up to `budget` batches, a bolt
+//     drains up to `budget` envelopes, and a task blocked on
+//     back-pressure parks the un-pushable envelope and returns
+//     kBlocked instead of spinning, so one worker can round-robin many
+//     tasks without oversubscribing the core.
 #pragma once
 
 #include <atomic>
@@ -41,15 +51,36 @@ struct TaskStats {
   /// Outbound batches whose shell came from the channel's recycle
   /// queue instead of the allocator (BatchPool hit rate).
   uint64_t batches_recycled = 0;
+  /// Thread-per-task mode: failed pushes retried in a spin loop.
   uint64_t backpressure_spins = 0;
+  /// Worker-pool mode: envelopes parked for cooperative retry because
+  /// the consumer's queue was full (the Pending-reschedule path).
+  uint64_t backpressure_parks = 0;
   /// Wall time spent inside operator Process()/NextBatch() calls, ns.
   uint64_t busy_ns = 0;
 };
 
+/// Stop protocol shared by every executor: `stop_spouts` halts
+/// production first (graceful drain), `stop_all` halts everything.
+/// Owned by the runtime; outlives tasks and executor threads.
+struct StopSignals {
+  std::atomic<bool> stop_all{false};
+  std::atomic<bool> stop_spouts{false};
+};
+
+/// Outcome of one cooperative work quantum.
+enum class PollResult {
+  kProgress,  ///< did work; poll again soon
+  kIdle,      ///< no input / rate-limited; ok to back off
+  kBlocked,   ///< back-pressured: an envelope is parked awaiting space
+  kDone,      ///< bounded source exhausted (or spout stopped + flushed)
+};
+
 /// The partition controller + executor for one placed instance.
 ///
-/// Single-threaded by construction: Run() is the thread body; all other
-/// methods are wiring performed before start.
+/// Single-threaded by construction: Run() or the owning pool worker is
+/// the only caller after start; all other methods are wiring performed
+/// before start.
 class Task : public api::OutputCollector {
  public:
   Task(int instance_id, int socket, EngineConfig config,
@@ -87,18 +118,42 @@ class Task : public api::OutputCollector {
 
   Status Prepare(const api::OperatorContext& ctx);
 
-  /// Thread body: processes until `*stop` becomes true.
-  void Run(const std::atomic<bool>* stop);
+  /// Arms the task for one run: stop protocol + execution mode.
+  /// `cooperative` selects the Poll back-pressure behavior (park and
+  /// return kBlocked) over the legacy spin.
+  void Bind(const StopSignals* signals, bool cooperative);
+
+  /// Thread-per-task body: processes until stopped, then finalizes.
+  void Run(const StopSignals* signals);
+
+  /// One cooperative quantum (see PollResult). Requires a prior
+  /// Bind(signals, /*cooperative=*/true).
+  PollResult Poll(int budget);
+
+  /// Shutdown epilogue, exactly once per run: consume what is still
+  /// queued on the inputs, flush the operator (stateful bolts emit
+  /// final results), and force out staged batches. The runtime calls
+  /// it after all execution threads joined, in topological operator
+  /// order — so upstream finals propagate all the way to the sinks.
+  /// Idempotent.
+  void Finalize();
 
   const TaskStats& stats() const { return stats_; }
+
+  /// Envelopes currently parked on cooperative back-pressure. Written
+  /// only by the owning worker; other threads read it racily (the
+  /// drain monitor), like TaskStats.
+  size_t pending_live() const { return pending_live_; }
 
   // OutputCollector (called by the wrapped operator during Process).
   void Emit(Tuple t) override { EmitTo(0, std::move(t)); }
   void EmitTo(uint16_t stream_id, Tuple t) override;
 
  private:
-  void RunSpout(const std::atomic<bool>* stop);
-  void RunBolt(const std::atomic<bool>* stop);
+  void RunSpout();
+  void RunBolt();
+  PollResult PollSpout(int budget);
+  PollResult PollBolt(int budget);
 
   /// Handles one inbound envelope (NUMA charge, deserialize, process)
   /// and recycles the drained batch shell back through `from`.
@@ -108,11 +163,19 @@ class Task : public api::OutputCollector {
   /// when the batch fills. The single move is the whole routing cost.
   void AppendTuple(OutRoute& route, size_t i, Tuple&& t);
 
-  /// Moves a full (or, with force, partial) buffer into its channel,
-  /// spinning on back-pressure. Reuses a recycled batch shell from the
-  /// channel's return queue when one is available.
-  void FlushBuffer(int buffer_idx, Channel* channel, bool force);
-  void FlushAll(bool force);
+  /// Moves a full (or, with force, partial) buffer into its channel.
+  /// Returns false when cooperative back-pressure parked the envelope
+  /// (legacy mode spins instead and always returns true).
+  bool FlushBuffer(int buffer_idx, Channel* channel, bool force);
+  bool FlushAll(bool force);
+
+  /// Delivers one envelope, honoring the bound back-pressure policy:
+  /// legacy spins until space (bailing at stop_all); cooperative parks
+  /// the envelope in `pending_` and returns false.
+  bool PushEnvelope(Envelope&& env, Channel* channel);
+
+  /// Retries parked envelopes in FIFO order; false while any remain.
+  bool TryDrainPending();
 
   /// Legacy per-tuple overhead work (§5.1's eliminated footprint).
   void LegacyPerTupleWork(const Tuple& t);
@@ -136,12 +199,42 @@ class Task : public api::OutputCollector {
   std::vector<JumboTuple> buffers_;
   uint64_t batch_seq_ = 0;
 
-  const std::atomic<bool>* stop_ = nullptr;
+  const StopSignals* signals_ = nullptr;
+  bool cooperative_ = false;
+  bool source_done_ = false;
+  bool finalized_ = false;
+  /// Inside Finalize: the in-flight cap is lifted (pushes bound only
+  /// by the ring) since consumers drain in their own Finalize.
+  bool finalizing_ = false;
+  /// Cooperative per-channel in-flight cap in batches (see
+  /// EngineConfig::pool_inflight_batches); ~0 when uncapped/legacy.
+  size_t soft_cap_ = ~size_t{0};
+  /// Something may be staged in `buffers_` since the last successful
+  /// force-flush — idle iterations skip the O(buffers) flush walk when
+  /// clear (it matters: a 64-replica bolt owns hundreds of buffers).
+  bool staged_dirty_ = false;
+
+  /// Envelopes that could not be pushed under cooperative
+  /// back-pressure, retried FIFO at the start of every Poll. While any
+  /// are parked the task consumes no new input, so the list is bounded
+  /// by one quantum's output fan-out.
+  struct PendingPush {
+    Envelope env;
+    Channel* channel = nullptr;
+  };
+  std::vector<PendingPush> pending_;
+  size_t pending_head_ = 0;
+  size_t pending_live_ = 0;  ///< pending_.size() - pending_head_
 
   // Spout rate limiting.
   double tokens_ = 0.0;
   int64_t last_refill_ns_ = 0;
   double rate_per_instance_ = 0.0;
+
+  /// Dead-store sink for the legacy-overhead work: volatile writes keep
+  /// the simulated allocations/checksums alive without polluting any
+  /// real TaskStats counter.
+  volatile uint64_t legacy_sink_ = 0;
 
   TaskStats stats_;
 };
