@@ -1,0 +1,165 @@
+// Live-migration pause cost: how long does BriskRuntime::ApplyMigration
+// stall the pipeline? The protocol is pause-and-migrate (quiesce at a
+// batch boundary, residual sweep, rebuild, resume), so the pause is
+// the price of zero tuple loss — this bench measures it end-to-end on
+// a live word_count under each executor, for pure moves, replication
+// growth (keyed-state re-partitioning included), and shrinkage.
+//
+//   $ ./bench/bench_migration [--out BENCH_migration.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/word_count.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "engine/runtime.h"
+#include "model/execution_plan.h"
+#include "optimizer/dynamic.h"
+
+using namespace brisk;
+
+namespace {
+
+constexpr int kSpout = 0;
+constexpr int kSplitter = 2;
+constexpr int kCounter = 3;
+
+struct PauseStats {
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  int migrations = 0;
+  bool conserved = false;
+};
+
+double Ms(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Runs WC under `executor`, applies `rounds` alternating migrations
+/// (move splitter, grow counter, shrink counter), and reports the
+/// ApplyMigration wall time plus the end-of-run conservation audit.
+PauseStats MeasurePauses(engine::ExecutorKind executor, int rounds) {
+  auto telemetry = std::make_shared<SinkTelemetry>();
+  apps::WordCountParams params;
+  auto topo_or = apps::BuildWordCountDsl(telemetry, params);
+  BRISK_CHECK(topo_or.ok()) << topo_or.status().ToString();
+  const api::Topology topo = std::move(topo_or).value();
+  auto plan_or = model::ExecutionPlan::Create(&topo, {1, 1, 2, 2, 1});
+  BRISK_CHECK(plan_or.ok()) << plan_or.status().ToString();
+  model::ExecutionPlan plan = std::move(plan_or).value();
+  for (int i = 0; i < plan.num_instances(); ++i) plan.SetSocket(i, i % 2);
+
+  engine::EngineConfig config;
+  config.executor = executor;
+  config.spout_rate_tps = 50000;
+  config.seed = 0xbe9c;
+  auto rt_or = engine::BriskRuntime::Create(&topo, plan, config);
+  BRISK_CHECK(rt_or.ok()) << rt_or.status().ToString();
+  auto rt = std::move(rt_or).value();
+  BRISK_CHECK(rt->Start().ok());
+
+  PauseStats out;
+  std::vector<double> pauses_ms;
+  for (int round = 0; round < rounds; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    const model::ExecutionPlan& current = rt->plan();
+    opt::MigrationPlan m;
+    switch (round % 3) {
+      case 0: {  // move one splitter replica to the other socket
+        const int inst = current.InstanceId(kSplitter, 0);
+        m.steps.push_back({opt::MigrationStep::kMove, kSplitter, 0,
+                           current.SocketOf(inst),
+                           1 - current.SocketOf(inst)});
+        break;
+      }
+      case 1:  // grow the stateful counter (re-partitions keyed state)
+        m.steps.push_back({opt::MigrationStep::kStart, kCounter,
+                           current.replication(kCounter), -1, 1});
+        break;
+      default:  // shrink it back (merges keyed state)
+        m.steps.push_back({opt::MigrationStep::kStop, kCounter,
+                           current.replication(kCounter) - 1,
+                           current.SocketOf(current.InstanceId(
+                               kCounter, current.replication(kCounter) - 1)),
+                           -1});
+        break;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    BRISK_CHECK_OK(rt->ApplyMigration(m));
+    pauses_ms.push_back(Ms(std::chrono::steady_clock::now() - t0));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  const engine::RunStats stats = rt->Stop();
+
+  out.migrations = stats.migrations;
+  for (const double p : pauses_ms) {
+    out.mean_ms += p;
+    out.max_ms = std::max(out.max_ms, p);
+  }
+  if (!pauses_ms.empty()) out.mean_ms /= pauses_ms.size();
+  const auto& ot = stats.op_totals;
+  out.conserved = ot.size() == 5 && ot[1].tuples_in == ot[kSpout].tuples_out &&
+                  ot[kSplitter].tuples_in == ot[1].tuples_out &&
+                  ot[kCounter].tuples_in == ot[kSplitter].tuples_out &&
+                  ot[4].tuples_in == ot[kCounter].tuples_out &&
+                  telemetry->count() == ot[4].tuples_in;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_migration.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  bench::Banner("migration",
+                "live pause-and-migrate cost (quiesce -> rebuild -> resume)");
+
+  constexpr int kRounds = 15;
+  const PauseStats pool =
+      MeasurePauses(engine::ExecutorKind::kWorkerPool, kRounds);
+  const PauseStats tpt =
+      MeasurePauses(engine::ExecutorKind::kThreadPerTask, kRounds);
+
+  bench::PrintRule({18, 12, 12, 12, 12});
+  bench::PrintRow({"executor", "migrations", "mean ms", "max ms", "exact"},
+                  {18, 12, 12, 12, 12});
+  bench::PrintRule({18, 12, 12, 12, 12});
+  auto row = [](const char* name, const PauseStats& s) {
+    bench::PrintRow({name, std::to_string(s.migrations),
+                     std::to_string(s.mean_ms), std::to_string(s.max_ms),
+                     s.conserved ? "yes" : "NO"},
+                    {18, 12, 12, 12, 12});
+  };
+  row("worker-pool", pool);
+  row("thread-per-task", tpt);
+  bench::PrintRule({18, 12, 12, 12, 12});
+
+  bench::JsonObj pool_json, tpt_json, root;
+  pool_json.Add("migrations", pool.migrations)
+      .Add("pause_mean_ms", pool.mean_ms)
+      .Add("pause_max_ms", pool.max_ms)
+      .Add("tuples_conserved", pool.conserved);
+  tpt_json.Add("migrations", tpt.migrations)
+      .Add("pause_mean_ms", tpt.mean_ms)
+      .Add("pause_max_ms", tpt.max_ms)
+      .Add("tuples_conserved", tpt.conserved);
+  root.Add("experiment", "migration")
+      .Add("rounds", kRounds)
+      .Add("worker_pool", pool_json)
+      .Add("thread_per_task", tpt_json);
+  bench::WriteJsonFile(out_path, root);
+
+  // Zero-loss is the bench's gate too: a migration that drops tuples
+  // is not a faster migration.
+  return (pool.conserved && tpt.conserved) ? 0 : 1;
+}

@@ -1,89 +1,151 @@
-// Adaptive re-optimization (§5.3): a WC deployment whose workload
-// drifts at runtime — sentences get shorter (the splitter's
-// selectivity and cost collapse), so the plan optimized for the old
-// workload over-provisions the splitter. The controller detects the
-// drift, re-plans with RLAS, and prints the migration a deployer would
-// apply.
+// Adaptive re-optimization, live (§5.3): a word-count deployment whose
+// workload drifts at runtime — sentences shrink from ten words to
+// three, so the splitter's selectivity and cost collapse and the plan
+// optimized for the old workload over-provisions it. The Job autopilot
+// observes the drift from engine counters, re-plans with RLAS, and
+// applies the migration to the RUNNING engine (pause-and-migrate: no
+// tuple lost, keyed counts preserved across the re-partitioning).
 //
 //   $ ./examples/adaptive_reoptimization
+#include <chrono>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
 
-#include "apps/apps.h"
+#include "api/dsl.h"
+#include "api/job.h"
 #include "apps/word_count.h"
-#include "hardware/machine_spec.h"
-#include "optimizer/dynamic.h"
+#include "engine/observed_profiles.h"
 
 using namespace brisk;
 
+namespace {
+
+constexpr uint64_t kDriftAt = 8000;   // sentences before the feed changes
+constexpr uint64_t kTotal = 60000;    // bounded source, per replica
+
+/// apps::BuildDriftingWordCountDsl with this demo's phase knobs: the
+/// first `drift_at` sentences of the whole feed have ten words, the
+/// rest three (the upstream feed switched from documents to search
+/// queries); each replica is bounded at `total`.
+dsl::Pipeline MakeDriftingWc(std::shared_ptr<SinkTelemetry> telemetry,
+                             uint64_t drift_at, uint64_t total) {
+  apps::DriftingWordCountParams params;
+  params.drift_at = drift_at;
+  params.total_per_replica = total;
+  return apps::BuildDriftingWordCountDsl(std::move(telemetry), params);
+}
+
+engine::EngineConfig Config() {
+  engine::EngineConfig config;
+  config.spout_rate_tps = 20000;
+  config.seed = 0xada9717;
+  config.batch_size = 32;
+  return config;
+}
+
+hw::MachineSpec Machine() {
+  return hw::MachineSpec::Symmetric(2, 8, 2.0, 100, 300, 40, 12);
+}
+
+opt::RlasOptions Rlas() {
+  opt::RlasOptions options;
+  options.placement.compress_ratio = 2;
+  return options;
+}
+
+}  // namespace
+
 int main() {
-  const hw::MachineSpec machine = hw::MachineSpec::ServerB();
-  auto app = apps::MakeApp(apps::AppId::kWordCount);
-  if (!app.ok()) {
-    std::fprintf(stderr, "%s\n", app.status().ToString().c_str());
-    return 1;
-  }
-
-  // Day 1: optimize for the profiled workload.
-  opt::RlasOptions rlas_options;
-  rlas_options.placement.compress_ratio = 4;
-  opt::RlasOptimizer optimizer(&machine, &app->profiles, rlas_options);
-  auto plan = optimizer.Optimize(app->topology());
-  if (!plan.ok()) {
-    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("initial plan (predicted %.1f M events/s):\n%s\n",
-              plan->model.throughput / 1e6, plan->plan.ToString().c_str());
-
-  // Day 2: the monitoring pipeline reports new statistics — sentences
-  // now carry 3 words instead of 10 (e.g. the upstream feed switched
-  // from documents to search queries).
-  apps::WordCountParams drifted_params;
-  drifted_params.words_per_sentence = 3;
-  model::ProfileSet observed = apps::WordCountProfiles(drifted_params);
+  // Day 0: profile the pre-drift workload with the engine's own
+  // observed counters — the same measurement context (and reference
+  // clock) the autopilot will use at runtime.
+  std::printf("calibrating pre-drift profiles on the live engine...\n");
+  model::ProfileSet planned;
   {
-    // The splitter also got ~3x cheaper per sentence (fewer substrings).
-    auto p = observed.Get("splitter");
-    if (p.ok()) {
-      auto q = *p;
-      q.te_cycles *= 0.35;
-      observed.Set("splitter", q);
+    auto telemetry = std::make_shared<SinkTelemetry>();
+    auto deployment =
+        Job::Of(MakeDriftingWc(telemetry, /*drift_at=*/~0ULL, /*total=*/0))
+            .WithProfiles(apps::WordCountProfiles())  // seed plan only
+            .WithMachine(Machine())
+            .WithPlannerOptions(Rlas())
+            .WithConfig(Config())
+            .WithTelemetry(telemetry)
+            .Deploy();
+    if (!deployment.ok()) {
+      std::fprintf(stderr, "%s\n", deployment.status().ToString().c_str());
+      return 1;
     }
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    const engine::RunStats window = (*deployment)->runtime().SnapshotStats();
+    const JobReport& report = (*deployment)->report();
+    auto observed = engine::ObserveProfiles(*report.topology, report.plan,
+                                            window, report.profiles);
+    (*deployment)->Stop();
+    if (!observed.ok()) {
+      std::fprintf(stderr, "%s\n", observed.status().ToString().c_str());
+      return 1;
+    }
+    planned = std::move(observed).value();
   }
 
-  opt::DynamicOptions dyn_options;
-  dyn_options.rlas = rlas_options;
-  opt::DynamicReoptimizer controller(&machine, dyn_options);
-  auto decision = controller.Check(app->topology(), plan->plan,
-                                   app->profiles, observed);
-  if (!decision.ok()) {
-    std::fprintf(stderr, "%s\n", decision.status().ToString().c_str());
+  // Day 1: deploy on the plan RLAS builds for that workload, with the
+  // autopilot closing the loop; mid-run the feed drifts.
+  auto telemetry = std::make_shared<SinkTelemetry>();
+  opt::DynamicOptions dynamic;
+  dynamic.drift_threshold = 0.2;
+  dynamic.min_gain = 0.01;
+  dynamic.rlas = Rlas();
+  auto deployment = Job::Of(MakeDriftingWc(telemetry, kDriftAt, kTotal))
+                        .WithProfiles(planned)
+                        .WithMachine(Machine())
+                        .WithPlannerOptions(Rlas())
+                        .WithConfig(Config())
+                        .WithTelemetry(telemetry)
+                        .WithAutopilot(/*interval_s=*/0.2, dynamic)
+                        .Deploy();
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "%s\n", deployment.status().ToString().c_str());
     return 1;
   }
+  std::printf("deployed:\n%s", (*deployment)->report().plan.ToString().c_str());
+  std::printf("streaming; sentences shrink 10 -> 3 words after %llu...\n",
+              static_cast<unsigned long long>(kDriftAt));
 
-  std::printf("observed profile drift: %.0f%% (threshold %.0f%%)\n",
-              decision->drift * 100.0,
-              dyn_options.drift_threshold * 100.0);
-  if (!decision->reoptimized) {
-    std::printf("controller kept the current plan.\n");
-    return 0;
-  }
-  std::printf(
-      "re-optimized: expected gain %+.0f%% under the observed workload\n"
-      "new plan:\n%s\n",
-      decision->expected_gain * 100.0,
-      decision->new_plan.ToString().c_str());
-  std::printf("migration (%d moves, %d starts, %d stops, %d unchanged):\n",
-              decision->migration.moves, decision->migration.starts,
-              decision->migration.stops, decision->migration.unchanged);
-  int shown = 0;
-  for (const auto& step : decision->migration.steps) {
-    std::printf("  %s\n", step.ToString(app->topology()).c_str());
-    if (++shown >= 12) {
-      std::printf("  ... %zu more steps\n",
-                  decision->migration.steps.size() - shown);
-      break;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  uint64_t last_count = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const uint64_t count = telemetry->count();
+    if (count > 0 && count == last_count &&
+        (*deployment)->migrations_applied() > 0) {
+      break;  // source done and drained, migration observed
     }
+    last_count = count;
+  }
+
+  const JobReport& report = (*deployment)->Stop();
+  std::printf("\n%s", report.ToString().c_str());
+  std::printf("final plan (after %d live migrations):\n%s",
+              report.stats.migrations,
+              (*deployment)->runtime().plan().ToString().c_str());
+
+  // Zero-loss audit: exact conservation across every edge of the run,
+  // all plan epochs included.
+  const auto& ot = report.stats.op_totals;
+  const bool conserved = ot.size() == 5 &&
+                         ot[1].tuples_in == ot[0].tuples_out &&
+                         ot[2].tuples_in == ot[1].tuples_out &&
+                         ot[3].tuples_in == ot[2].tuples_out &&
+                         ot[4].tuples_in == ot[3].tuples_out &&
+                         report.sink_tuples == ot[4].tuples_in;
+  std::printf("tuple conservation across migrations: %s\n",
+              conserved ? "exact" : "VIOLATED");
+  if (!conserved) return 1;
+  if (report.stats.migrations == 0) {
+    std::printf("note: autopilot saw no profitable re-plan this run.\n");
   }
   return 0;
 }

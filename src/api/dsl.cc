@@ -40,10 +40,11 @@ class LambdaSpout final : public api::Spout {
   std::vector<std::string> streams_;
 };
 
-/// Synthesized Operator around a user process lambda.
+/// Synthesized Operator around a user process lambda; the prepared
+/// ReplicaBody's StateHooks back the live-migration virtuals.
 class LambdaBolt final : public api::Operator {
  public:
-  explicit LambdaBolt(ProcessFactory factory)
+  explicit LambdaBolt(ReplicaFactory factory)
       : factory_(std::move(factory)) {}
 
   Status Prepare(const api::OperatorContext& ctx) override {
@@ -52,8 +53,8 @@ class LambdaBolt final : public api::Operator {
                                      "' has an empty factory");
     }
     streams_ = ctx.output_streams;
-    fn_ = factory_(ctx);
-    if (!fn_) {
+    body_ = factory_(ctx);
+    if (!body_.fn) {
       return Status::InvalidArgument("factory for '" + ctx.operator_name +
                                      "' returned an empty function");
     }
@@ -62,12 +63,23 @@ class LambdaBolt final : public api::Operator {
 
   void Process(const Tuple& in, api::OutputCollector* out) override {
     Collector c(out, &streams_);
-    fn_(in, c);
+    body_.fn(in, c);
+  }
+
+  std::vector<api::KeyedStateEntry> ExportKeyedState() override {
+    if (!body_.hooks.export_state) return {};
+    return body_.hooks.export_state();
+  }
+
+  void ImportKeyedState(std::vector<api::KeyedStateEntry> entries) override {
+    if (body_.hooks.import_state) {
+      body_.hooks.import_state(std::move(entries));
+    }
   }
 
  private:
-  ProcessFactory factory_;
-  ProcessFn fn_;
+  ReplicaFactory factory_;
+  ReplicaBody body_;
   std::vector<std::string> streams_;
 };
 
@@ -107,9 +119,27 @@ std::string KeyOf(const Field& f) {
   }
 }
 
+Field FieldOf(const std::string& key) {
+  if (key.empty()) return Field();
+  switch (key[0]) {
+    case 'i': {
+      int64_t v = 0;
+      std::memcpy(&v, key.data() + 1, sizeof(v));
+      return Field(v);
+    }
+    case 'd': {
+      double v = 0;
+      std::memcpy(&v, key.data() + 1, sizeof(v));
+      return Field(v);
+    }
+    default:
+      return Field(std::string_view(key).substr(1));
+  }
+}
+
 }  // namespace detail
 
-Stream Stream::Attach(const std::string& name, ProcessFactory factory,
+Stream Stream::Attach(const std::string& name, ReplicaFactory factory,
                       api::GroupingType grouping, size_t key_field) const {
   Pipeline::Node node;
   node.name = name;
@@ -117,6 +147,18 @@ Stream Stream::Attach(const std::string& name, ProcessFactory factory,
   node.subs.push_back({node_, stream_, grouping, key_field});
   const int id = pipe_->AddNode(std::move(node));
   return Stream(pipe_, id, "default");
+}
+
+Stream Stream::Attach(const std::string& name, ProcessFactory factory,
+                      api::GroupingType grouping, size_t key_field) const {
+  return Attach(name,
+                ReplicaFactory([pf = std::move(factory)](
+                    const api::OperatorContext& ctx) -> ReplicaBody {
+                  // An empty user factory surfaces as the empty-body
+                  // InvalidArgument in LambdaBolt::Prepare.
+                  return pf ? ReplicaBody{pf(ctx), {}} : ReplicaBody{};
+                }),
+                grouping, key_field);
 }
 
 Stream Stream::Process(const std::string& name, ProcessFactory factory) const {

@@ -122,10 +122,34 @@ using FilterFn = std::function<bool(const Tuple& in)>;
 /// Terminal consumer (telemetry, side effects); emits nothing.
 using SinkFn = std::function<void(const Tuple& in)>;
 
+/// Keyed-state hand-off hooks a replica body may expose for live plan
+/// migration (api::Operator::{Export,Import}KeyedState forwarded to
+/// lambda land). Both run on the migration thread while the engine is
+/// quiesced, never concurrently with the body.
+struct StateHooks {
+  std::function<std::vector<api::KeyedStateEntry>()> export_state;
+  std::function<void(std::vector<api::KeyedStateEntry>)> import_state;
+};
+
+/// One prepared replica: the per-tuple body plus (optional) migration
+/// hooks that share its state.
+struct ReplicaBody {
+  ProcessFn fn;
+  StateHooks hooks;
+};
+/// Builds one ReplicaBody per replica at Prepare time. Aggregate uses
+/// this form so its per-key map is reachable from both the body and
+/// the hooks; plain ProcessFactory verbs lower onto it with empty
+/// hooks.
+using ReplicaFactory = std::function<ReplicaBody(const api::OperatorContext&)>;
+
 namespace detail {
 /// Canonical map key for a tuple field (type-tagged so int 0x73... and
 /// a string of the same bytes never collide).
 std::string KeyOf(const Field& f);
+/// Inverse of KeyOf: reconstructs the Field (exact for all three
+/// alternatives), so exported state re-hashes like the live tuples do.
+Field FieldOf(const std::string& key);
 }  // namespace detail
 
 /// Handle to one operator's output stream plus the grouping the *next*
@@ -177,6 +201,8 @@ class Stream {
   Stream(Pipeline* pipe, int node, std::string stream)
       : pipe_(pipe), node_(node), stream_(std::move(stream)) {}
 
+  Stream Attach(const std::string& name, ReplicaFactory factory,
+                api::GroupingType grouping, size_t key_field) const;
   Stream Attach(const std::string& name, ProcessFactory factory,
                 api::GroupingType grouping, size_t key_field) const;
 
@@ -201,21 +227,46 @@ class KeyedStream {
   /// hand-keyed map is one small construction + hash; operators where
   /// that matters can drop to KeyedStream::Process and key their own
   /// state.
+  ///
+  /// Aggregate also wires the live-migration StateHooks: when a plan
+  /// migration changes this operator's replication, the engine exports
+  /// every (key, State) entry, re-buckets by the fields-grouping hash,
+  /// and imports each bucket into its new owner replica — counts and
+  /// windows survive the re-partitioning.
   template <typename State>
   Stream Aggregate(
       const std::string& name, State init,
       std::function<void(State&, const Tuple&, Collector&)> fn) const {
     const size_t key = key_field_;
-    ProcessFactory factory = [init = std::move(init), fn = std::move(fn),
-                              key](const api::OperatorContext&) -> ProcessFn {
+    ReplicaFactory factory = [init = std::move(init), fn = std::move(fn),
+                              key](const api::OperatorContext&) -> ReplicaBody {
       auto states =
           std::make_shared<std::unordered_map<std::string, State>>();
-      return [states, init, fn, key](const Tuple& in, Collector& out) {
+      ReplicaBody body;
+      body.fn = [states, init, fn, key](const Tuple& in, Collector& out) {
         auto [it, fresh] =
             states->try_emplace(detail::KeyOf(in.fields[key]), init);
         (void)fresh;
         fn(it->second, in, out);
       };
+      body.hooks.export_state = [states]() {
+        std::vector<api::KeyedStateEntry> out;
+        out.reserve(states->size());
+        for (auto& [k, v] : *states) {
+          out.push_back({detail::FieldOf(k),
+                         std::make_shared<State>(std::move(v))});
+        }
+        states->clear();
+        return out;
+      };
+      body.hooks.import_state =
+          [states](std::vector<api::KeyedStateEntry> entries) {
+            for (auto& e : entries) {
+              (*states)[detail::KeyOf(e.key)] =
+                  std::move(*std::static_pointer_cast<State>(e.state));
+            }
+          };
+      return body;
     };
     return base_.Attach(name, std::move(factory),
                         api::GroupingType::kFields, key);
@@ -281,7 +332,7 @@ class Pipeline {
     bool is_source = false;
     api::SpoutFactory spout;   // interop source
     SourceFactory source;      // lambda source
-    ProcessFactory process;    // bolts and sinks
+    ReplicaFactory process;    // bolts and sinks (body + state hooks)
     int parallelism = 1;
     std::vector<std::string> streams{"default"};
     std::vector<Sub> subs;

@@ -43,6 +43,12 @@ std::string JobReport::ToString() const {
        << sink_throughput_tps() << " tuples/s), p99 latency "
        << sink_latency_ns.Percentile(0.99) / 1e6 << " ms\n";
   }
+  for (const MigrationRecord& m : migrations) {
+    os << "migration @" << m.at_seconds << " s: drift " << m.drift * 100
+       << "%, expected gain " << m.expected_gain * 100 << "% (" << m.moves
+       << " moves, " << m.starts << " starts, " << m.stops << " stops) "
+       << (m.applied ? "applied" : "FAILED: " + m.error) << "\n";
+  }
   return os.str();
 }
 
@@ -116,6 +122,25 @@ Job& Job::WithTelemetry(std::shared_ptr<SinkTelemetry> telemetry) {
   return *this;
 }
 
+Job& Job::WithSeed(uint64_t seed) {
+  config_.seed = seed;
+  return *this;
+}
+
+Job& Job::WithAutopilot(double interval_s) {
+  autopilot_enabled_ = true;
+  autopilot_interval_s_ = interval_s;
+  autopilot_options_.reset();  // inherit the job's RLAS options
+  return *this;
+}
+
+Job& Job::WithAutopilot(double interval_s, opt::DynamicOptions options) {
+  autopilot_enabled_ = true;
+  autopilot_interval_s_ = interval_s;
+  autopilot_options_ = std::move(options);
+  return *this;
+}
+
 StatusOr<std::unique_ptr<Job::Deployment>> Job::Deploy() {
   BRISK_RETURN_NOT_OK(init_error_);
 
@@ -182,6 +207,26 @@ StatusOr<std::unique_ptr<Job::Deployment>> Job::Deploy() {
   // telemetry; reset so the report covers only the live run.
   if (deployment->telemetry_) deployment->telemetry_->Reset();
   BRISK_RETURN_NOT_OK(deployment->runtime_->Start());
+
+  if (autopilot_enabled_) {
+    opt::DynamicOptions dyn;
+    if (autopilot_options_.has_value()) {
+      dyn = *autopilot_options_;
+    } else {
+      dyn.rlas = options_;  // re-optimize with the job's planner knobs
+    }
+    engine::ObservationConfig observation;
+    // Express observed T_e in the same reference clock the planner's
+    // profiles use, or the unit mismatch itself reads as drift. With
+    // user-supplied profiles the caller owns the convention (the
+    // robust pattern is supplying engine-observed profiles, which are
+    // 1 GHz-referenced — the default).
+    if (report.profiled) {
+      observation.reference_ghz = profiler_config_.reference_ghz;
+    }
+    deployment->StartAutopilot(autopilot_interval_s_, std::move(dyn),
+                               machine_, observation);
+  }
   return deployment;
 }
 
@@ -191,12 +236,133 @@ StatusOr<JobReport> Job::Run(double seconds) {
   return deployment->Stop();
 }
 
-Job::Deployment::~Deployment() = default;  // BriskRuntime stops itself
+Job::Deployment::~Deployment() {
+  StopAutopilot();  // BriskRuntime stops itself
+}
+
+void Job::Deployment::StartAutopilot(double interval_s,
+                                     opt::DynamicOptions options,
+                                     hw::MachineSpec machine,
+                                     engine::ObservationConfig observation) {
+  autopilot_interval_s_ = interval_s;
+  autopilot_options_ = std::move(options);
+  autopilot_machine_ = std::move(machine);
+  autopilot_observation_ = observation;
+  autopilot_plan_ = report_.plan;
+  autopilot_profiles_ = report_.profiles;
+  autopilot_stop_ = false;
+  autopilot_thread_ = std::thread([this] { AutopilotLoop(); });
+}
+
+void Job::Deployment::StopAutopilot() {
+  if (!autopilot_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(autopilot_mu_);
+    autopilot_stop_ = true;
+  }
+  autopilot_cv_.notify_all();
+  autopilot_thread_.join();
+}
+
+void Job::Deployment::AutopilotLoop() {
+  engine::BriskRuntime& rt = *runtime_;
+  const opt::DynamicReoptimizer reopt(&autopilot_machine_,
+                                      autopilot_options_);
+  const engine::ObservationConfig observation = autopilot_observation_;
+  engine::RunStats base = rt.SnapshotStats();
+  int base_epoch = rt.epoch();
+  // Damping state: windowed T_e on a busy host jitters far more than
+  // real drift, so raw windows feed an EWMA and a freshly migrated
+  // engine gets settle_windows of grace before the next check.
+  model::ProfileSet smoothed;
+  bool have_smoothed = false;
+  int settle = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(autopilot_mu_);
+      if (autopilot_cv_.wait_for(
+              lock, std::chrono::duration<double>(autopilot_interval_s_),
+              [this] { return autopilot_stop_; })) {
+        return;
+      }
+    }
+    engine::RunStats now = rt.SnapshotStats();
+    // A stale window (the instance space changed under us) only resets
+    // the baseline; the next interval observes the new epoch.
+    if (rt.epoch() != base_epoch || now.tasks.size() != base.tasks.size()) {
+      base = std::move(now);
+      base_epoch = rt.epoch();
+      continue;
+    }
+    // Windowed deltas: observe the *recent* workload, not the
+    // whole-run average, so drift shows up within one interval.
+    engine::RunStats window;
+    window.tasks.resize(now.tasks.size());
+    uint64_t window_tuples = 0;
+    for (size_t i = 0; i < now.tasks.size(); ++i) {
+      window.tasks[i].tuples_in =
+          now.tasks[i].tuples_in - base.tasks[i].tuples_in;
+      window.tasks[i].tuples_out =
+          now.tasks[i].tuples_out - base.tasks[i].tuples_out;
+      window.tasks[i].busy_ns = now.tasks[i].busy_ns - base.tasks[i].busy_ns;
+      window_tuples += window.tasks[i].tuples_in;
+    }
+    base = std::move(now);
+    if (window_tuples == 0) continue;  // idle window: nothing to learn
+
+    auto observed = engine::ObserveProfiles(*topo_, autopilot_plan_, window,
+                                            autopilot_profiles_, observation);
+    if (!observed.ok()) continue;
+    if (!have_smoothed) {
+      smoothed = std::move(*observed);
+      have_smoothed = true;
+    } else {
+      engine::BlendProfiles(&smoothed, *observed,
+                            autopilot_options_.observation_ewma_alpha);
+    }
+    if (settle > 0) {
+      --settle;  // keep smoothing, skip the check while warming up
+      continue;
+    }
+    auto decision =
+        reopt.Check(*topo_, autopilot_plan_, autopilot_profiles_, smoothed);
+    if (!decision.ok() || !decision->reoptimized) continue;
+
+    MigrationRecord record;
+    record.at_seconds = base.duration_s;
+    record.drift = decision->drift;
+    record.expected_gain = decision->expected_gain;
+    record.moves = decision->migration.moves;
+    record.starts = decision->migration.starts;
+    record.stops = decision->migration.stops;
+    const Status applied = rt.ApplyMigration(decision->migration);
+    record.applied = applied.ok();
+    if (!applied.ok()) record.error = applied.ToString();
+    {
+      std::lock_guard<std::mutex> lock(autopilot_mu_);
+      autopilot_records_.push_back(std::move(record));
+    }
+    if (applied.ok()) {
+      // The new plan was optimized *for* the smoothed observation: it
+      // becomes the planned baseline the next drift is measured from,
+      // the EWMA restarts (the rebuilt engine is a new measurement
+      // context), and the check sits out the settle grace.
+      autopilot_plan_ = decision->new_plan;
+      autopilot_profiles_ = smoothed;
+      have_smoothed = false;
+      settle = autopilot_options_.settle_windows;
+    }
+    base = rt.SnapshotStats();
+    base_epoch = rt.epoch();
+  }
+}
 
 const JobReport& Job::Deployment::Stop() {
+  StopAutopilot();
   if (stopped_) return report_;
   stopped_ = true;
   report_.stats = runtime_->Stop();
+  report_.migrations = std::move(autopilot_records_);
   if (telemetry_) {
     report_.sink_tuples = telemetry_->count();
     report_.sink_latency_ns = telemetry_->LatencySnapshot();

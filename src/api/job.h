@@ -16,9 +16,13 @@
 // are built from.
 #pragma once
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/dsl.h"
 #include "api/topology.h"
@@ -26,12 +30,14 @@
 #include "common/status.h"
 #include "common/telemetry.h"
 #include "engine/config.h"
+#include "engine/observed_profiles.h"
 #include "engine/runtime.h"
 #include "hardware/machine_spec.h"
 #include "hardware/numa_emulator.h"
 #include "model/execution_plan.h"
 #include "model/operator_profile.h"
 #include "model/perf_model.h"
+#include "optimizer/dynamic.h"
 #include "optimizer/rlas.h"
 #include "profiler/profiler.h"
 
@@ -41,6 +47,20 @@ namespace brisk {
 enum class Planner { kRlas, kFirstFit, kRoundRobin, kOsDefault };
 
 const char* PlannerName(Planner planner);
+
+/// One autopilot observe → re-optimize → migrate decision that led to
+/// a live plan switch (ReoptDecision outcomes that kept the current
+/// plan are not recorded).
+struct MigrationRecord {
+  double at_seconds = 0.0;  ///< wall-clock offset from engine start
+  double drift = 0.0;       ///< observed profile drift that triggered it
+  double expected_gain = 0.0;  ///< modeled relative throughput gain
+  int moves = 0;
+  int starts = 0;
+  int stops = 0;
+  bool applied = false;  ///< ApplyMigration succeeded
+  std::string error;     ///< nonempty when applying failed
+};
 
 /// Everything one run produced, in one object.
 struct JobReport {
@@ -62,6 +82,12 @@ struct JobReport {
   engine::RunStats stats;      ///< engine-side counters
   uint64_t sink_tuples = 0;    ///< observed at the sink (§2.2's counter)
   Histogram sink_latency_ns;   ///< sampled end-to-end latency
+
+  /// Live migrations the autopilot applied (empty without
+  /// WithAutopilot); `plan` remains the *initial* plan — the plan the
+  /// job ended on is stats-side (BriskRuntime::plan()) and recorded
+  /// step-wise here.
+  std::vector<MigrationRecord> migrations;
 
   double sink_throughput_tps() const {
     return stats.duration_s > 0 ? static_cast<double>(sink_tuples) /
@@ -114,25 +140,63 @@ class Job {
   /// so profiler traffic is not counted.)
   Job& WithTelemetry(std::shared_ptr<SinkTelemetry> telemetry);
 
-  /// A deployed, running job. Stop() joins the engine and finalizes
-  /// the report; the destructor stops implicitly.
+  /// Deterministic run seed: every operator replica gets a stable
+  /// derived seed in OperatorContext::seed, which the DSL source
+  /// factories and the benchmark spouts feed into common/rng — two
+  /// runs of the same seeded job produce the same tuple population.
+  Job& WithSeed(uint64_t seed);
+
+  /// Autopilot: closes the paper's §5.3 loop on the deployed job. A
+  /// controller thread wakes every `interval_s`, derives observed
+  /// operator profiles from the engine's counters over the last window
+  /// (engine/observed_profiles), runs DynamicReoptimizer::Check
+  /// against the plan the job is running, and — when drift and modeled
+  /// gain clear their thresholds — applies the resulting MigrationPlan
+  /// live via BriskRuntime::ApplyMigration. Each applied (or failed)
+  /// switch is recorded in JobReport::migrations. This one-argument
+  /// form inherits the job's RLAS planner options for re-optimization.
+  Job& WithAutopilot(double interval_s);
+  /// Autopilot with explicit policy knobs (drift threshold, minimum
+  /// modeled gain, RLAS options for the re-plan).
+  Job& WithAutopilot(double interval_s, opt::DynamicOptions options);
+
+  /// A deployed, running job. Stop() joins the autopilot (if any) and
+  /// the engine, then finalizes the report; the destructor stops
+  /// implicitly.
   class Deployment {
    public:
     ~Deployment();
     Deployment(const Deployment&) = delete;
     Deployment& operator=(const Deployment&) = delete;
 
-    /// Stops the engine (idempotent) and returns the full report.
+    /// Stops the autopilot and the engine (idempotent) and returns the
+    /// full report.
     const JobReport& Stop();
 
-    /// Report so far (plan + prediction; run stats only after Stop).
+    /// Report so far (plan + prediction; run stats and the migration
+    /// log only after Stop).
     const JobReport& report() const { return report_; }
 
     engine::BriskRuntime& runtime() { return *runtime_; }
 
+    /// Applied-migration count so far (racy read; exact after Stop).
+    int migrations_applied() const {
+      return runtime_ ? runtime_->epoch() : 0;
+    }
+
    private:
     friend class Job;
     Deployment() = default;
+
+    /// Spawns the controller thread (Deploy calls this when the job
+    /// was configured WithAutopilot). `observation` must express
+    /// observed T_e in the same reference clock as the profiles the
+    /// plan was built from, or unit mismatch reads as drift.
+    void StartAutopilot(double interval_s, opt::DynamicOptions options,
+                        hw::MachineSpec machine,
+                        engine::ObservationConfig observation);
+    void AutopilotLoop();
+    void StopAutopilot();
 
     std::shared_ptr<const api::Topology> topo_;
     std::shared_ptr<SinkTelemetry> telemetry_;
@@ -140,6 +204,20 @@ class Job {
     std::unique_ptr<engine::BriskRuntime> runtime_;
     bool stopped_ = false;
     JobReport report_;
+
+    // Autopilot state (all owned by the controller thread between
+    // StartAutopilot and StopAutopilot).
+    double autopilot_interval_s_ = 0.0;
+    opt::DynamicOptions autopilot_options_;
+    hw::MachineSpec autopilot_machine_;
+    engine::ObservationConfig autopilot_observation_;
+    model::ExecutionPlan autopilot_plan_;       ///< plan the engine runs
+    model::ProfileSet autopilot_profiles_;      ///< what it was planned for
+    std::thread autopilot_thread_;
+    std::mutex autopilot_mu_;
+    std::condition_variable autopilot_cv_;
+    bool autopilot_stop_ = false;
+    std::vector<MigrationRecord> autopilot_records_;
   };
 
   /// Profile → optimize → deploy, run `seconds` of wall-clock, stop,
@@ -164,6 +242,10 @@ class Job {
   std::optional<model::ProfileSet> profiles_;
   profiler::ProfilerConfig profiler_config_;
   std::shared_ptr<SinkTelemetry> telemetry_;
+  bool autopilot_enabled_ = false;
+  double autopilot_interval_s_ = 0.5;
+  /// Explicit autopilot policy; unset = inherit the job's RLAS options.
+  std::optional<opt::DynamicOptions> autopilot_options_;
 };
 
 }  // namespace brisk

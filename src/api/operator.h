@@ -49,6 +49,11 @@ struct OperatorContext {
   int num_replicas = 1;
   /// Virtual socket this instance is placed on (-1 if unplaced).
   int socket = -1;
+  /// Per-replica deterministic seed, derived from the job-level seed
+  /// (EngineConfig::seed / Job::WithSeed) so runs are reproducible.
+  /// 0 when the job is unseeded — sources then fall back to their own
+  /// workload-parameter seeds.
+  uint64_t seed = 0;
   /// Declared output stream names of this operator; index is the
   /// stream id EmitTo takes (0 = "default").
   std::vector<std::string> output_streams;
@@ -77,6 +82,17 @@ class OutputCollector {
   virtual void EmitTo(uint16_t stream_id, Tuple t) = 0;
 };
 
+/// One keyed-state entry exported for live re-partitioning (§5.3 plan
+/// migration): the grouping key as a re-hashable Field — the engine
+/// routes the entry to its new owner with the same hash the fields
+/// grouping uses on tuples — plus the replica-local state behind a
+/// type-erased handle (all replicas of one operator share the concrete
+/// state type, so the cast back is safe by construction).
+struct KeyedStateEntry {
+  Field key;
+  std::shared_ptr<void> state;
+};
+
 /// A continuously running stream operator ("bolt").
 ///
 /// Implementations must be self-contained: one instance is created per
@@ -98,6 +114,25 @@ class Operator {
 
   /// Called at shutdown so stateful operators can emit final results.
   virtual void Flush(OutputCollector* out) { (void)out; }
+
+  // Live-migration hooks. When an operator's replication level changes
+  // at runtime, the key → replica mapping (hash % replicas) changes for
+  // every key, so the engine quiesces the job, Exports the keyed state
+  // of every old replica, re-buckets the entries with the new replica
+  // count, and Imports each bucket into its new owner. Both calls run
+  // on the migration thread while no execution thread is live. A
+  // stateful operator that implements neither loses its per-key state
+  // when its replication changes (never on pure moves — the operator
+  // object travels with its replica).
+
+  /// Exports this replica's per-key state and clears it locally.
+  /// Default: stateless (nothing to hand off).
+  virtual std::vector<KeyedStateEntry> ExportKeyedState() { return {}; }
+
+  /// Merges entries re-bucketed to this replica by the engine.
+  virtual void ImportKeyedState(std::vector<KeyedStateEntry> entries) {
+    (void)entries;
+  }
 };
 
 /// A stream source. NextBatch is the pull interface the engine uses;

@@ -1,15 +1,27 @@
 #include "apps/spike_detection.h"
 
+#include <algorithm>
+
 #include "api/dsl.h"
 
 namespace brisk::apps {
 
 Status SensorSpout::Prepare(const api::OperatorContext& ctx) {
-  rng_ = Rng(params_.seed + 0x7f4a7c15ULL * (ctx.replica_index + 1));
+  // A seeded job (Job::WithSeed) supplies the per-replica seed so runs
+  // are reproducible end-to-end.
+  rng_ = Rng(ctx.seed != 0
+                 ? ctx.seed
+                 : params_.seed + 0x7f4a7c15ULL * (ctx.replica_index + 1));
   return Status::OK();
 }
 
 size_t SensorSpout::NextBatch(size_t max_tuples, api::OutputCollector* out) {
+  if (params_.max_readings > 0) {
+    if (produced_ >= params_.max_readings) return 0;  // bounded: done
+    max_tuples =
+        std::min<uint64_t>(max_tuples, params_.max_readings - produced_);
+  }
+  produced_ += max_tuples;
   const int64_t now = NowNs();
   for (size_t i = 0; i < max_tuples; ++i) {
     Tuple t;
@@ -41,6 +53,25 @@ void MovingAverage::Process(const Tuple& in, api::OutputCollector* out) {
   t.fields.emplace_back(w.sum / static_cast<double>(w.values.size()));
   t.origin_ts_ns = in.origin_ts_ns;
   out->Emit(std::move(t));
+}
+
+std::vector<api::KeyedStateEntry> MovingAverage::ExportKeyedState() {
+  std::vector<api::KeyedStateEntry> out;
+  out.reserve(windows_.size());
+  for (auto& [device, window] : windows_) {
+    out.push_back({Field(device),
+                   std::make_shared<WindowState>(std::move(window))});
+  }
+  windows_.clear();
+  return out;
+}
+
+void MovingAverage::ImportKeyedState(
+    std::vector<api::KeyedStateEntry> entries) {
+  for (auto& e : entries) {
+    windows_[e.key.AsInt()] =
+        std::move(*std::static_pointer_cast<WindowState>(e.state));
+  }
 }
 
 void SpikeDetector::Process(const Tuple& in, api::OutputCollector* out) {
@@ -75,7 +106,8 @@ StatusOr<api::Topology> BuildSpikeDetection(
 }
 
 StatusOr<api::Topology> BuildSpikeDetectionDsl(
-    std::shared_ptr<SinkTelemetry> sink, SpikeDetectionParams params) {
+    std::shared_ptr<SinkTelemetry> sink, SpikeDetectionParams params,
+    dsl::SinkFn tap) {
   // Per-device sliding window, one per key, replica-local (the DSL's
   // Aggregate twin of MovingAverage::WindowState).
   struct Window {
@@ -111,8 +143,9 @@ StatusOr<api::Topology> BuildSpikeDetectionDsl(
                  out.Emit(in, {in.fields[0],
                                Field(static_cast<int64_t>(spike ? 1 : 0))});
                })
-      .Sink("sink", [sink](const Tuple& in) {
+      .Sink("sink", [sink, tap](const Tuple& in) {
         sink->RecordTuple(in.origin_ts_ns, NowNs());
+        if (tap) tap(in);
       });
   return std::move(p).Build();
 }

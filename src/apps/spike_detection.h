@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/dsl.h"
 #include "api/operator.h"
 #include "api/topology.h"
 #include "apps/common_ops.h"
@@ -23,9 +24,13 @@ struct SpikeDetectionParams {
   int window = 64;            ///< moving-average window length
   double spike_threshold = 1.8;  ///< reading / avg ratio flagged as spike
   uint64_t seed = 31;
+  /// Bounded-source cap: each spout replica stops after this many
+  /// readings (0 = unbounded); see WordCountParams::max_sentences.
+  uint64_t max_readings = 0;
 };
 
-/// Sensor source: (device_id, reading).
+/// Sensor source: (device_id, reading). Honors the job-level seed
+/// (OperatorContext::seed) when one is set, else the params seed.
 class SensorSpout : public api::Spout {
  public:
   explicit SensorSpout(SpikeDetectionParams params)
@@ -37,14 +42,19 @@ class SensorSpout : public api::Spout {
  private:
   SpikeDetectionParams params_;
   Rng rng_;
+  uint64_t produced_ = 0;  ///< readings emitted (max_readings cap)
 };
 
 /// Per-device sliding-window mean; emits (device, reading, avg).
+/// Implements the keyed-state hand-off hooks so windows survive live
+/// re-partitioning across replication changes.
 class MovingAverage : public api::Operator {
  public:
   explicit MovingAverage(SpikeDetectionParams params) : params_(params) {}
 
   void Process(const Tuple& in, api::OutputCollector* out) override;
+  std::vector<api::KeyedStateEntry> ExportKeyedState() override;
+  void ImportKeyedState(std::vector<api::KeyedStateEntry> entries) override;
 
  private:
   struct WindowState {
@@ -78,8 +88,13 @@ StatusOr<api::Topology> BuildSpikeDetection(
 /// The same SD dataflow as a dsl::Pipeline program (what MakeApp now
 /// uses): Source → Filter(parser) → KeyBy(device).Aggregate(moving_avg)
 /// → FlatMap(spike_detect) → Sink.
+///
+/// `tap`, when set, additionally receives every tuple the sink sees
+/// ((device, spike-flag) pairs); copied per sink replica — shared
+/// captures must synchronize.
 StatusOr<api::Topology> BuildSpikeDetectionDsl(
-    std::shared_ptr<SinkTelemetry> sink, SpikeDetectionParams params = {});
+    std::shared_ptr<SinkTelemetry> sink, SpikeDetectionParams params = {},
+    dsl::SinkFn tap = nullptr);
 
 model::ProfileSet SpikeDetectionProfiles(
     const SpikeDetectionParams& params = {});

@@ -1,17 +1,41 @@
 #include "apps/word_count.h"
 
+#include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "api/dsl.h"
 
 namespace brisk::apps {
 
+namespace {
+
+/// The DSL splitter body, shared by the WC twins and the drifting
+/// variant: one word tuple per whitespace-separated token.
+void SplitSentenceInto(const Tuple& in, dsl::Collector& out) {
+  const std::string_view sentence = in.GetString(0);
+  for (size_t start = 0; start < sentence.size();) {
+    size_t end = sentence.find(' ', start);
+    if (end == std::string_view::npos) end = sentence.size();
+    if (end > start) {
+      out.Emit(in, {Field(sentence.substr(start, end - start))});
+    }
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
 SentenceSpout::SentenceSpout(WordCountParams params)
     : params_(params), rng_(params.seed) {}
 
 Status SentenceSpout::Prepare(const api::OperatorContext& ctx) {
-  // Distinct seed per replica so replicas emit different sentences.
-  rng_ = Rng(params_.seed + 0x9e3779b9ULL * (ctx.replica_index + 1));
+  // Distinct seed per replica so replicas emit different sentences; a
+  // seeded job (Job::WithSeed) supplies the per-replica seed instead,
+  // making runs reproducible end-to-end.
+  rng_ = Rng(ctx.seed != 0
+                 ? ctx.seed
+                 : params_.seed + 0x9e3779b9ULL * (ctx.replica_index + 1));
   dictionary_.reserve(params_.vocabulary);
   Rng dict_rng(params_.seed);  // shared dictionary across replicas
   static const char* kSyllables[] = {"ka", "lo", "mi", "ra", "tu", "ves",
@@ -31,6 +55,12 @@ Status SentenceSpout::Prepare(const api::OperatorContext& ctx) {
 
 size_t SentenceSpout::NextBatch(size_t max_tuples,
                                 api::OutputCollector* out) {
+  if (params_.max_sentences > 0) {
+    if (produced_ >= params_.max_sentences) return 0;  // bounded: done
+    max_tuples =
+        std::min<uint64_t>(max_tuples, params_.max_sentences - produced_);
+  }
+  produced_ += max_tuples;
   const int64_t now = NowNs();
   for (size_t i = 0; i < max_tuples; ++i) {
     std::string sentence;
@@ -76,6 +106,23 @@ void WordCounter::Process(const Tuple& in, api::OutputCollector* out) {
   out->Emit(std::move(t));
 }
 
+std::vector<api::KeyedStateEntry> WordCounter::ExportKeyedState() {
+  std::vector<api::KeyedStateEntry> out;
+  out.reserve(counts_.size());
+  for (auto& [word, count] : counts_) {
+    out.push_back({Field(word), std::make_shared<int64_t>(count)});
+  }
+  counts_.clear();
+  return out;
+}
+
+void WordCounter::ImportKeyedState(std::vector<api::KeyedStateEntry> entries) {
+  for (auto& e : entries) {
+    counts_[std::string(e.key.AsString())] +=
+        *std::static_pointer_cast<int64_t>(e.state);
+  }
+}
+
 StatusOr<api::Topology> BuildWordCount(std::shared_ptr<SinkTelemetry> sink,
                                        WordCountParams params) {
   api::TopologyBuilder b("word-count");
@@ -92,35 +139,83 @@ StatusOr<api::Topology> BuildWordCount(std::shared_ptr<SinkTelemetry> sink,
 }
 
 StatusOr<api::Topology> BuildWordCountDsl(std::shared_ptr<SinkTelemetry> sink,
-                                          WordCountParams params) {
+                                          WordCountParams params,
+                                          dsl::SinkFn tap) {
   dsl::Pipeline p("word-count");
   p.Source("spout",
            api::SpoutFactory(
                [params] { return std::make_unique<SentenceSpout>(params); }))
       .Filter("parser", ParserKeeps)
-      .FlatMap("splitter",
-               [](const Tuple& in, dsl::Collector& out) {
-                 const std::string_view sentence = in.GetString(0);
-                 for (size_t start = 0; start < sentence.size();) {
-                   size_t end = sentence.find(' ', start);
-                   if (end == std::string_view::npos) end = sentence.size();
-                   if (end > start) {
-                     out.Emit(in,
-                              {Field(sentence.substr(start, end - start))});
-                   }
-                   start = end + 1;
-                 }
-               })
+      .FlatMap("splitter", SplitSentenceInto)
       .KeyBy(0)
       .Aggregate<int64_t>("counter", 0,
                           [](int64_t& count, const Tuple& in,
                              dsl::Collector& out) {
                             out.Emit(in, {in.fields[0], Field(++count)});
                           })
-      .Sink("sink", [sink](const Tuple& in) {
+      .Sink("sink", [sink, tap](const Tuple& in) {
         sink->RecordTuple(in.origin_ts_ns, NowNs());
+        if (tap) tap(in);
       });
   return std::move(p).Build();
+}
+
+dsl::Pipeline BuildDriftingWordCountDsl(std::shared_ptr<SinkTelemetry> sink,
+                                        DriftingWordCountParams params,
+                                        dsl::SinkFn tap) {
+  auto feed_position = std::make_shared<std::atomic<uint64_t>>(0);
+  dsl::Pipeline p("wc-drift");
+  p.Source("spout",
+           dsl::SourceFactory([feed_position, params](
+                                  const api::OperatorContext& ctx)
+                                  -> dsl::SourceFn {
+             auto rng = std::make_shared<Rng>(
+                 ctx.seed != 0 ? ctx.seed : 4242 + ctx.replica_index);
+             auto produced = std::make_shared<uint64_t>(0);
+             return [rng, produced, feed_position, params](
+                        size_t max_tuples, dsl::Collector& out) -> size_t {
+               const int64_t now = NowNs();
+               size_t emitted = 0;
+               for (size_t i = 0; i < max_tuples; ++i) {
+                 if (params.total_per_replica > 0 &&
+                     *produced >= params.total_per_replica) {
+                   break;
+                 }
+                 const int words =
+                     feed_position->fetch_add(1) < params.drift_at
+                         ? params.long_words
+                         : params.short_words;
+                 ++*produced;
+                 std::string sentence;
+                 sentence.reserve(static_cast<size_t>(words) * 6);
+                 for (int w = 0; w < words; ++w) {
+                   if (w) sentence += ' ';
+                   sentence += 'w';
+                   sentence += std::to_string(rng->NextBounded(
+                       static_cast<uint64_t>(params.vocabulary)));
+                 }
+                 Tuple t;
+                 t.fields.emplace_back(std::move(sentence));
+                 t.origin_ts_ns = now;
+                 out.Emit(std::move(t));
+                 ++emitted;
+               }
+               return emitted;
+             };
+           }))
+      .Filter("parser", ParserKeeps)
+      .FlatMap("splitter", SplitSentenceInto)
+      .KeyBy(0)
+      .Aggregate<int64_t>("counter", 0,
+                          [](int64_t& count, const Tuple& in,
+                             dsl::Collector& out) {
+                            out.Emit(in, {in.fields[0], Field(++count)});
+                          })
+      .Sink("sink", [sink, tap](const Tuple& in) {
+        sink->RecordTuple(in.origin_ts_ns, NowNs());
+        if (tap) tap(in);
+      });
+  return p;
 }
 
 model::ProfileSet WordCountProfiles(const WordCountParams& params) {

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/dsl.h"
 #include "api/operator.h"
 #include "api/topology.h"
 #include "apps/common_ops.h"
@@ -23,10 +24,16 @@ struct WordCountParams {
   int vocabulary = 4096;         ///< distinct words
   double zipf_theta = 0.6;       ///< word frequency skew
   uint64_t seed = 17;
+  /// Bounded-source cap: each spout replica stops after this many
+  /// sentences (0 = unbounded). With a fixed seed this makes a whole
+  /// run's tuple population exact — the determinism the differential
+  /// and migration tests assert on.
+  uint64_t max_sentences = 0;
 };
 
 /// Sentence source: each tuple is one sentence string of
-/// `words_per_sentence` dictionary words.
+/// `words_per_sentence` dictionary words. Honors the job-level seed
+/// (OperatorContext::seed) when one is set, else the params seed.
 class SentenceSpout : public api::Spout {
  public:
   explicit SentenceSpout(WordCountParams params);
@@ -38,6 +45,7 @@ class SentenceSpout : public api::Spout {
   WordCountParams params_;
   Rng rng_;
   std::vector<std::string> dictionary_;
+  uint64_t produced_ = 0;  ///< sentences emitted (max_sentences cap)
 };
 
 /// Splits each sentence into words; emits one tuple per word.
@@ -47,10 +55,14 @@ class Splitter : public api::Operator {
 };
 
 /// Stateful word counter: hashmap word -> occurrences, emits
-/// (word, count) per input word (§2.2).
+/// (word, count) per input word (§2.2). Implements the keyed-state
+/// hand-off hooks so counts survive live re-partitioning when a plan
+/// migration changes the counter's replication.
 class WordCounter : public api::Operator {
  public:
   void Process(const Tuple& in, api::OutputCollector* out) override;
+  std::vector<api::KeyedStateEntry> ExportKeyedState() override;
+  void ImportKeyedState(std::vector<api::KeyedStateEntry> entries) override;
 
  private:
   std::unordered_map<std::string, int64_t> counts_;
@@ -66,12 +78,43 @@ StatusOr<api::Topology> BuildWordCount(std::shared_ptr<SinkTelemetry> sink,
 /// uses): Source → Filter(parser) → FlatMap(splitter) →
 /// KeyBy(word).Aggregate(counter) → Sink. Lowers to a Topology
 /// structurally identical to BuildWordCount's.
+///
+/// `tap`, when set, additionally receives every tuple the sink sees
+/// ((word, count) pairs) — the hook the differential/migration tests
+/// use to capture exact sink multisets. The tap is copied per sink
+/// replica and may run concurrently; shared captures must synchronize.
 StatusOr<api::Topology> BuildWordCountDsl(std::shared_ptr<SinkTelemetry> sink,
-                                          WordCountParams params = {});
+                                          WordCountParams params = {},
+                                          dsl::SinkFn tap = nullptr);
 
 /// Calibrated BriskStream profiles for WC (cycles; derived from the
 /// paper's Table 3 measurements at Server A's 1.2 GHz — e.g. Splitter
 /// T_e 1612.8 ns ≈ 1935 cycles, Counter 612.3 ns ≈ 735 cycles).
 model::ProfileSet WordCountProfiles(const WordCountParams& params = {});
+
+/// Knobs for the drifting WC feed (§5.3 adaptive scenarios): the first
+/// `drift_at` sentences of the whole feed have `long_words` words, the
+/// rest `short_words` (e.g. the upstream feed switched from documents
+/// to search queries).
+struct DriftingWordCountParams {
+  uint64_t drift_at = 8000;
+  /// Bound per spout replica (0 = unbounded), like
+  /// WordCountParams::max_sentences.
+  uint64_t total_per_replica = 0;
+  int long_words = 10;
+  int short_words = 3;
+  int vocabulary = 512;
+};
+
+/// The drifting WC program used by the autopilot demo and the drift
+/// smoke test. The drift phase is a property of the external feed, so
+/// it lives in one counter shared by every spout replica — including
+/// replicas a live migration starts later (a per-replica counter
+/// would make a freshly started replica replay the pre-drift phase
+/// and re-pollute the stream). Operator names match WordCountProfiles
+/// so profile sets transfer; sources honor OperatorContext::seed.
+dsl::Pipeline BuildDriftingWordCountDsl(std::shared_ptr<SinkTelemetry> sink,
+                                        DriftingWordCountParams params = {},
+                                        dsl::SinkFn tap = nullptr);
 
 }  // namespace brisk::apps

@@ -1,0 +1,58 @@
+// Single-writer counters readable from other threads without a data
+// race.
+//
+// The engine's monitoring loops (graceful drain, the §5.3 statistics
+// collection behind live re-optimization) read task counters while the
+// owning executor thread updates them. Those reads only need to be
+// approximately fresh, but plain uint64_t fields make them data races
+// — undefined behavior, and exactly what a ThreadSanitizer CI job
+// flags. RelaxedCounter keeps the owner's cost at a plain load+add+
+// store (no atomic read-modify-write, so no `lock` prefix on the hot
+// emit path) while making cross-thread reads well-defined relaxed
+// loads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace brisk {
+
+/// A 64-bit counter with exactly one writer. Mutating operators are
+/// not atomic read-modify-writes — they are only safe from the owning
+/// thread; any thread may read. Copyable (snapshot semantics) so stat
+/// structs holding these can still be returned by value.
+class RelaxedCounter {
+ public:
+  RelaxedCounter(uint64_t v = 0) noexcept : v_(v) {}
+  RelaxedCounter(const RelaxedCounter& o) noexcept : v_(o.value()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
+    Set(o.value());
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) noexcept {
+    Set(v);
+    return *this;
+  }
+
+  uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  operator uint64_t() const noexcept { return value(); }
+
+  // Owner-thread-only mutations.
+  RelaxedCounter& operator++() noexcept {
+    Set(value() + 1);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t d) noexcept {
+    Set(value() + d);
+    return *this;
+  }
+
+ private:
+  void Set(uint64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+
+  std::atomic<uint64_t> v_;
+};
+
+}  // namespace brisk

@@ -15,6 +15,22 @@ inline uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Stable per-replica seed derived from one job-level seed: mixes the
+/// operator id and replica index through SplitMix64 so replicas get
+/// decorrelated streams while the whole run stays a pure function of
+/// `job_seed` (Job::WithSeed / EngineConfig::seed). Never returns 0,
+/// so a seeded job is distinguishable from an unseeded one
+/// (OperatorContext::seed == 0).
+inline uint64_t DeriveSeed(uint64_t job_seed, int op, int replica) {
+  uint64_t state = job_seed;
+  SplitMix64(state);
+  state ^= 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(op) + 1);
+  SplitMix64(state);
+  state ^= 0xbf58476d1ce4e5b9ULL * (static_cast<uint64_t>(replica) + 1);
+  const uint64_t derived = SplitMix64(state);
+  return derived == 0 ? 1 : derived;
+}
+
 /// Xoshiro256** — small, fast, high-quality PRNG. Deterministic given a
 /// seed, which keeps every experiment in this repo reproducible.
 class Rng {

@@ -71,6 +71,9 @@ class Channel {
   }
 
   size_t SizeApprox() const { return queue_.SizeApprox(); }
+  /// Racy emptiness probe for the quiesce monitors (graceful drain and
+  /// the migration pause protocol).
+  bool EmptyApprox() const { return queue_.EmptyApprox(); }
 
   /// Worker-pool wiring (pre-start; cleared when the pool shuts down).
   /// Thread-per-task mode leaves both null and pays one branch.

@@ -83,6 +83,14 @@ struct EngineConfig {
   /// External ingress rate per topology (tuples/sec), 0 = saturated.
   double spout_rate_tps = 0.0;
 
+  /// Job-level determinism seed. Nonzero: every operator replica
+  /// receives a stable per-replica seed in OperatorContext::seed
+  /// (DeriveSeed(seed, op, replica)), so seed-honoring sources make
+  /// the whole run reproducible — the determinism the differential
+  /// test layer builds on. 0 = unseeded (sources use their own
+  /// workload-parameter defaults).
+  uint64_t seed = 0;
+
   /// Execution model (see ExecutorKind).
   ExecutorKind executor = ExecutorKind::kWorkerPool;
 

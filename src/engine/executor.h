@@ -29,6 +29,15 @@ struct ExecutorStats {
   int worker_groups = 0;  ///< socket groups (0 for thread-per-task)
   uint64_t parks = 0;     ///< times an idle worker parked on its Waker
   uint64_t wakes = 0;     ///< parks ended by a Notify (vs timeout)
+
+  /// Folds a finished epoch's counters into a running total. A live
+  /// migration tears the executor down and stands up a new one per
+  /// plan epoch; the run-level report keeps the latest epoch's shape
+  /// (threads, worker groups) but cumulative park/wake counts.
+  void AccumulateCounters(const ExecutorStats& o) {
+    parks += o.parks;
+    wakes += o.wakes;
+  }
 };
 
 /// CPU for a thread serving `slot` (0-based) on plan socket `socket`:

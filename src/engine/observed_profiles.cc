@@ -1,5 +1,7 @@
 #include "engine/observed_profiles.h"
 
+#include <algorithm>
+
 namespace brisk::engine {
 
 StatusOr<model::ProfileSet> ObserveProfiles(
@@ -47,6 +49,27 @@ StatusOr<model::ProfileSet> ObserveProfiles(
     observed.Set(op.name, profile);
   }
   return observed;
+}
+
+void BlendProfiles(model::ProfileSet* into, const model::ProfileSet& sample,
+                   double alpha) {
+  alpha = std::clamp(alpha, 0.0, 1.0);
+  for (const auto& [name, s] : sample.all()) {
+    auto prev = into->Get(name);
+    if (!prev.ok()) {
+      into->Set(name, s);
+      continue;
+    }
+    model::OperatorProfile blended = s;
+    blended.te_cycles = alpha * s.te_cycles + (1 - alpha) * prev->te_cycles;
+    const size_t n =
+        std::min(blended.selectivity.size(), prev->selectivity.size());
+    for (size_t i = 0; i < n; ++i) {
+      blended.selectivity[i] = alpha * s.selectivity[i] +
+                               (1 - alpha) * prev->selectivity[i];
+    }
+    into->Set(name, blended);
+  }
 }
 
 }  // namespace brisk::engine

@@ -35,4 +35,14 @@ StatusOr<model::ProfileSet> ObserveProfiles(
     const RunStats& stats, const model::ProfileSet& planned,
     const ObservationConfig& config = {});
 
+/// Exponentially smooths a stream of windowed observations:
+///   into = alpha * sample + (1 - alpha) * into
+/// for T_e and each selectivity entry of every operator present in
+/// both sets (operators only in `sample` are copied as-is). The §5.3
+/// controller feeds per-interval ObserveProfiles results through this
+/// so scheduling jitter in short windows does not read as workload
+/// drift. alpha in (0, 1]; 1 replaces `into` with the raw sample.
+void BlendProfiles(model::ProfileSet* into, const model::ProfileSet& sample,
+                   double alpha);
+
 }  // namespace brisk::engine

@@ -1,8 +1,13 @@
 #include "engine/runtime.h"
 
+#include <algorithm>
 #include <chrono>
+#include <map>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/tuple.h"
 
 namespace brisk::engine {
 
@@ -22,37 +27,58 @@ StatusOr<std::unique_ptr<BriskRuntime>> BriskRuntime::Create(
   rt->topo_ = topo;
   rt->config_ = config;
   rt->numa_ = numa;
+  rt->retired_op_stats_.resize(topo->num_operators());
+  BRISK_RETURN_NOT_OK(rt->WireGraph(plan, nullptr));
+  return rt;
+}
+
+Status BriskRuntime::WireGraph(
+    const model::ExecutionPlan& plan,
+    const std::function<Harvested(int op, int replica)>& reuse) {
+  // Tasks hold raw Channel pointers; drop them first.
+  tasks_.clear();
+  channels_.clear();
 
   const int n = plan.num_instances();
-  rt->instance_sockets_.resize(n);
-  rt->instance_op_.resize(n);
+  instance_sockets_.assign(n, -1);
+  instance_op_.assign(n, -1);
   int spout_instances = 0;
   for (int i = 0; i < n; ++i) {
-    rt->instance_sockets_[i] = plan.instance(i).socket;
-    rt->instance_op_[i] = plan.instance(i).op;
-    if (topo->op(plan.instance(i).op).is_spout) ++spout_instances;
+    instance_sockets_[i] = plan.instance(i).socket;
+    instance_op_[i] = plan.instance(i).op;
+    if (topo_->op(plan.instance(i).op).is_spout) ++spout_instances;
   }
 
-  // Instantiate tasks.
+  // Instantiate tasks: surviving (op, replica) identities adopt their
+  // harvested operator instance + cumulative stats, the rest come
+  // fresh from the factories.
+  std::vector<bool> fresh(n, true);
   for (int i = 0; i < n; ++i) {
     const auto& pi = plan.instance(i);
-    const auto& op = topo->op(pi.op);
-    auto task =
-        std::make_unique<Task>(i, pi.socket, config, numa);
+    const auto& op = topo_->op(pi.op);
+    auto task = std::make_unique<Task>(i, pi.socket, config_, numa_);
+    Harvested h;
+    if (reuse) h = reuse(pi.op, pi.replica);
     if (op.is_spout) {
-      task->SetSpout(op.spout_factory());
-      task->SetSpoutRate(config.spout_rate_tps > 0
-                             ? config.spout_rate_tps / spout_instances
+      task->SetSpout(h.valid && h.spout ? std::move(h.spout)
+                                        : op.spout_factory());
+      task->SetSpoutRate(config_.spout_rate_tps > 0
+                             ? config_.spout_rate_tps / spout_instances
                              : 0.0);
     } else {
-      task->SetBolt(op.bolt_factory());
+      task->SetBolt(h.valid && h.bolt ? std::move(h.bolt)
+                                      : op.bolt_factory());
     }
-    task->SetInstanceSockets(&rt->instance_sockets_);
-    rt->tasks_.push_back(std::move(task));
+    if (h.valid) {
+      task->SeedStats(h.stats);
+      fresh[i] = false;
+    }
+    task->SetInstanceSockets(&instance_sockets_);
+    tasks_.push_back(std::move(task));
   }
 
   // Wire channels per topology edge.
-  for (const auto& e : topo->edges()) {
+  for (const auto& e : topo_->edges()) {
     for (int pr = 0; pr < plan.replication(e.producer_op); ++pr) {
       const int pinst = plan.InstanceId(e.producer_op, pr);
       OutRoute route;
@@ -64,39 +90,45 @@ StatusOr<std::unique_ptr<BriskRuntime>> BriskRuntime::Create(
                                 : plan.replication(e.consumer_op);
       for (int cr = 0; cr < consumers; ++cr) {
         const int cinst = plan.InstanceId(e.consumer_op, cr);
-        rt->channels_.push_back(std::make_unique<Channel>(
-            pinst, cinst, config.queue_capacity));
-        Channel* ch = rt->channels_.back().get();
-        rt->tasks_[cinst]->AddInput(ch);
+        channels_.push_back(std::make_unique<Channel>(
+            pinst, cinst, config_.queue_capacity));
+        Channel* ch = channels_.back().get();
+        tasks_[cinst]->AddInput(ch);
         route.channels.push_back(ch);
-        route.buffer_index.push_back(rt->tasks_[pinst]->AddBuffer());
+        route.buffer_index.push_back(tasks_[pinst]->AddBuffer());
       }
-      rt->tasks_[pinst]->AddOutRoute(std::move(route));
+      tasks_[pinst]->AddOutRoute(std::move(route));
     }
   }
 
-  // Prepare operators with their runtime context.
+  // Prepare fresh operator instances with their runtime context.
+  // Surviving instances were Prepared in the epoch that created them
+  // and keep their state — re-preparing would e.g. re-seed a source.
   for (int i = 0; i < n; ++i) {
+    if (!fresh[i]) continue;
     const auto& pi = plan.instance(i);
     api::OperatorContext ctx;
-    ctx.operator_name = topo->op(pi.op).name;
+    ctx.operator_name = topo_->op(pi.op).name;
     ctx.replica_index = pi.replica;
     ctx.num_replicas = plan.replication(pi.op);
     ctx.socket = pi.socket;
-    ctx.output_streams = topo->op(pi.op).output_streams;
-    BRISK_RETURN_NOT_OK(rt->tasks_[i]->Prepare(ctx));
+    ctx.seed =
+        config_.seed != 0 ? DeriveSeed(config_.seed, pi.op, pi.replica) : 0;
+    ctx.output_streams = topo_->op(pi.op).output_streams;
+    BRISK_RETURN_NOT_OK(tasks_[i]->Prepare(ctx));
   }
-  return rt;
+  plan_ = plan;
+  return Status::OK();
 }
 
 BriskRuntime::~BriskRuntime() {
   if (running_) Stop();
 }
 
-Status BriskRuntime::Start() {
-  if (running_) return Status::FailedPrecondition("already running");
+Status BriskRuntime::StartExecutor() {
   signals_.stop_all.store(false);
   signals_.stop_spouts.store(false);
+  signals_.preserve_inflight.store(false);
 
   const bool cooperative = config_.executor == ExecutorKind::kWorkerPool;
   std::vector<Task*> task_ptrs;
@@ -112,8 +144,14 @@ Status BriskRuntime::Start() {
   executor_ = MakeExecutor(config_, &signals_, std::move(task_ptrs),
                            std::move(channel_ptrs),
                            numa_ != nullptr ? &numa_->machine() : nullptr);
+  return executor_->Start();
+}
+
+Status BriskRuntime::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (running_) return Status::FailedPrecondition("already running");
   started_at_ = std::chrono::steady_clock::now();
-  BRISK_RETURN_NOT_OK(executor_->Start());
+  BRISK_RETURN_NOT_OK(StartExecutor());
   running_ = true;
   return Status::OK();
 }
@@ -128,12 +166,12 @@ bool BriskRuntime::WaitForDrain(double timeout_s) {
   while (std::chrono::steady_clock::now() < deadline) {
     bool channels_empty = true;
     for (const auto& ch : channels_) {
-      if (ch->SizeApprox() != 0) {
+      if (!ch->EmptyApprox()) {
         channels_empty = false;
         break;
       }
     }
-    // Racy reads are fine here: we require the sum to be *stable*
+    // Relaxed reads are fine here: we require the sum to be *stable*
     // across consecutive checks with empty channels and no envelope
     // parked on back-pressure, which only a quiescent engine sustains.
     // (A parked envelope is invisible to the channels — its producer
@@ -155,45 +193,243 @@ bool BriskRuntime::WaitForDrain(double timeout_s) {
   return false;
 }
 
-RunStats BriskRuntime::Stop() {
-  RunStats stats;
-  if (!running_) return stats;
-  if (config_.graceful_drain) {
-    // Phase 1: stop production, let bolts drain what is in flight.
-    const auto drain_start = std::chrono::steady_clock::now();
-    signals_.stop_spouts.store(true);
-    executor_->NotifyAll();
-    stats.drained = WaitForDrain(config_.drain_timeout_s);
-    stats.drain_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      drain_start)
-            .count();
-  }
-  // Phase 2: halt everything, then run the shutdown epilogue in
-  // topological operator order: each task consumes what is left on
-  // its inputs and flushes its operator, so stateful bolts' finals
-  // propagate all the way to the sinks even though no execution
-  // thread is running anymore.
+void BriskRuntime::JoinExecutorAndFold() {
   signals_.stop_all.store(true);
   executor_->NotifyAll();
   executor_->Join();
+  ExecutorStats epoch_stats = executor_->stats();
+  epoch_stats.AccumulateCounters(retired_executor_);
+  retired_executor_ = epoch_stats;
+  executor_.reset();
+}
+
+bool BriskRuntime::QuiesceAndJoin(double* drain_seconds,
+                                  bool preserve_inflight) {
+  const auto drain_start = std::chrono::steady_clock::now();
+  signals_.stop_spouts.store(true);
+  executor_->NotifyAll();
+  const bool drained = WaitForDrain(config_.drain_timeout_s);
+  if (drain_seconds != nullptr) {
+    *drain_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - drain_start)
+                         .count();
+  }
+  // Preserve mode must flip on only now, between the drain and the
+  // halt: during the drain the legacy executor still needs real
+  // (spinning) back-pressure, or producers would park unboundedly
+  // instead of being throttled. Publication order is a contract with
+  // Task::PushEnvelope — preserve_inflight stores strictly before
+  // stop_all (both seq_cst), and readers check stop_all (acquire)
+  // first, so no thread can observe the halt without the preserve
+  // mode that governs it.
+  if (preserve_inflight) signals_.preserve_inflight.store(true);
+  JoinExecutorAndFold();
+  return drained;
+}
+
+void BriskRuntime::SweepResiduals() {
+  // Each pass moves every queued/staged/parked tuple at least one hop
+  // (rings freed by downstream consumption within the same pass), so
+  // the sweep terminates once the finite in-flight inventory reaches
+  // the sinks. The cap is a defensive bound, not an expected exit.
+  for (int pass = 0; pass < 64; ++pass) {
+    for (const int op : topo_->topological_order()) {
+      for (size_t i = 0; i < tasks_.size(); ++i) {
+        if (instance_op_[i] == op) tasks_[i]->DrainResidual();
+      }
+    }
+    bool quiescent = true;
+    for (const auto& ch : channels_) {
+      if (!ch->EmptyApprox()) {
+        quiescent = false;
+        break;
+      }
+    }
+    if (quiescent) {
+      for (const auto& task : tasks_) {
+        if (task->pending_live() != 0) {
+          quiescent = false;
+          break;
+        }
+      }
+    }
+    if (quiescent) return;
+  }
+  BRISK_LOG(Warn) << "residual sweep did not reach quiescence";
+}
+
+Status BriskRuntime::ApplyMigration(const opt::MigrationPlan& migration) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_) {
+    return Status::FailedPrecondition(
+        "ApplyMigration requires a running engine");
+  }
+  if (migration.empty()) return Status::OK();
+
+  // 1. Validate and reconstruct the target plan *before* pausing
+  // anything, so a bad migration never disturbs the job.
+  BRISK_ASSIGN_OR_RETURN(model::ExecutionPlan next,
+                         opt::ApplyStepsToPlan(plan_, migration));
+
+  // 2. Quiesce at a batch boundary and join the executor (in-flight
+  // batches are preserved — parked, not dropped — even if the
+  // cooperative drain times out), then sweep residuals to the sinks
+  // single-threaded. After this, no tuple is in flight anywhere.
+  if (!QuiesceAndJoin(nullptr, /*preserve_inflight=*/true)) {
+    BRISK_LOG(Warn) << "migration drain timed out after "
+                    << config_.drain_timeout_s
+                    << " s; residual sweep delivers the backlog";
+  }
+  SweepResiduals();
+
+  // 3. Harvest operator instances and stats by (op, replica), and
+  // export keyed state wherever the replication level changes (the
+  // key → replica mapping changes for every key there).
+  const model::ExecutionPlan old_plan = plan_;
+  std::map<std::pair<int, int>, Harvested> harvested;
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    const auto& pi = old_plan.instance(static_cast<int>(i));
+    Harvested h;
+    h.spout = tasks_[i]->TakeSpout();
+    h.bolt = tasks_[i]->TakeBolt();
+    h.stats = tasks_[i]->stats();
+    h.valid = true;
+    harvested[{pi.op, pi.replica}] = std::move(h);
+  }
+  std::vector<std::vector<api::KeyedStateEntry>> exported(
+      topo_->num_operators());
+  for (int op = 0; op < topo_->num_operators(); ++op) {
+    const int old_repl = old_plan.replication(op);
+    const int new_repl = next.replication(op);
+    if (old_repl == new_repl) continue;
+    for (int r = 0; r < old_repl; ++r) {
+      Harvested& h = harvested[{op, r}];
+      if (h.bolt != nullptr) {
+        auto entries = h.bolt->ExportKeyedState();
+        exported[op].insert(exported[op].end(),
+                            std::make_move_iterator(entries.begin()),
+                            std::make_move_iterator(entries.end()));
+      }
+      // Retired replicas: counters fold into the per-op totals so
+      // run-level conservation invariants keep holding.
+      if (r >= new_repl) retired_op_stats_[op].Accumulate(h.stats);
+    }
+  }
+
+  // 4. Rebuild tasks + channels against the new plan; surviving
+  // identities adopt their harvested instance, new replicas Prepare.
+  auto reuse = [&harvested](int op, int replica) -> Harvested {
+    auto it = harvested.find({op, replica});
+    if (it == harvested.end()) return Harvested{};
+    return std::move(it->second);
+  };
+  const Status rebuilt = WireGraph(next, reuse);
+  if (!rebuilt.ok()) {
+    // Past the point of no return: the executor is down and the old
+    // graph was dismantled. Mark the job dead (safe to Stop()/destroy,
+    // and Stop still reports the accumulated counters) instead of
+    // pretending the old plan still runs.
+    running_ = false;
+    dead_ = true;
+    return rebuilt;
+  }
+
+  // 5. Re-partition exported keyed state with the same hash the
+  // fields grouping applies to tuples: entry → replica
+  // HashField(key) % new_replication.
+  for (int op = 0; op < topo_->num_operators(); ++op) {
+    if (exported[op].empty()) continue;
+    const int new_repl = plan_.replication(op);
+    std::vector<std::vector<api::KeyedStateEntry>> buckets(new_repl);
+    for (auto& entry : exported[op]) {
+      const size_t target =
+          HashField(entry.key) % static_cast<size_t>(new_repl);
+      buckets[target].push_back(std::move(entry));
+    }
+    for (int r = 0; r < new_repl; ++r) {
+      if (buckets[r].empty()) continue;
+      api::Operator* bolt = tasks_[plan_.InstanceId(op, r)]->bolt();
+      BRISK_CHECK(bolt != nullptr) << "keyed state exported by a spout";
+      bolt->ImportKeyedState(std::move(buckets[r]));
+    }
+  }
+
+  // 6. Resume on a fresh executor honoring the new placement.
+  const Status resumed = StartExecutor();
+  if (!resumed.ok()) {
+    running_ = false;  // as above: quiesced and cannot resume
+    dead_ = true;
+    return resumed;
+  }
+  ++migrations_;
+  epoch_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
+}
+
+std::vector<TaskStats> BriskRuntime::OpTotals() const {
+  std::vector<TaskStats> totals = retired_op_stats_;
+  totals.resize(topo_->num_operators());
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    totals[instance_op_[i]].Accumulate(tasks_[i]->stats());
+  }
+  return totals;
+}
+
+void BriskRuntime::CollectStats(RunStats* stats) const {
+  stats->duration_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - started_at_)
+                          .count();
+  stats->migrations = migrations_;
+  stats->tasks.reserve(tasks_.size());
+  for (const auto& task : tasks_) stats->tasks.push_back(task->stats());
+  stats->op_totals = OpTotals();
+  for (const auto& s : stats->op_totals) {
+    stats->total_emitted += s.tuples_out;
+    stats->total_consumed += s.tuples_in;
+  }
+}
+
+RunStats BriskRuntime::SnapshotStats() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  RunStats stats;
+  CollectStats(&stats);
+  if (!running_) stats.duration_s = 0.0;
+  return stats;
+}
+
+RunStats BriskRuntime::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  RunStats stats;
+  if (!running_) {
+    if (!dead_) return stats;  // never started or already stopped
+    // Migration-dead: the executor is already down and the graph may
+    // be partial, but the run's counters (surviving tasks + retired
+    // fold-ins) are intact — report them instead of pretending the
+    // run never happened.
+    dead_ = false;
+    stats.executor = retired_executor_;
+    CollectStats(&stats);
+    return stats;
+  }
+  if (config_.graceful_drain) {
+    // Phase 1: stop production, let bolts drain what is in flight.
+    stats.drained =
+        QuiesceAndJoin(&stats.drain_seconds, /*preserve_inflight=*/false);
+  } else {
+    JoinExecutorAndFold();
+  }
+  // Phase 2: run the shutdown epilogue in topological operator order:
+  // each task consumes what is left on its inputs and flushes its
+  // operator, so stateful bolts' finals propagate all the way to the
+  // sinks even though no execution thread is running anymore.
   for (const int op : topo_->topological_order()) {
     for (size_t i = 0; i < tasks_.size(); ++i) {
       if (instance_op_[i] == op) tasks_[i]->Finalize();
     }
   }
-  stats.executor = executor_->stats();
-  executor_.reset();
+  stats.executor = retired_executor_;
   running_ = false;
-  stats.duration_s = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - started_at_)
-                         .count();
-  stats.tasks.reserve(tasks_.size());
-  for (const auto& task : tasks_) {
-    stats.tasks.push_back(task->stats());
-    stats.total_emitted += task->stats().tuples_out;
-    stats.total_consumed += task->stats().tuples_in;
-  }
+  CollectStats(&stats);
   return stats;
 }
 

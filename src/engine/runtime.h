@@ -1,10 +1,14 @@
 // BriskRuntime: instantiates a placed execution plan into tasks +
-// channels, executes them (worker pool or thread-per-task), and
-// reports run statistics.
+// channels, executes them (worker pool or thread-per-task), reports
+// run statistics — and, closing the paper's §5.3 loop, applies live
+// plan migrations (ApplyMigration) produced by the dynamic
+// re-optimizer without dropping or duplicating a tuple.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -16,6 +20,7 @@
 #include "engine/task.h"
 #include "hardware/numa_emulator.h"
 #include "model/execution_plan.h"
+#include "optimizer/dynamic.h"
 
 namespace brisk::engine {
 
@@ -30,13 +35,27 @@ struct RunStats {
   bool drained = false;
   double drain_seconds = 0.0;
   ExecutorStats executor;
+
+  /// Live migrations applied during the run (plan epochs - 1).
+  int migrations = 0;
+  /// Per-operator counters accumulated across migration epochs,
+  /// indexed by topology operator id: surviving replicas carry their
+  /// counters across epochs and retired replicas fold in here at
+  /// migration time, so edge-conservation invariants (splitter out ==
+  /// counter in, ...) hold for the whole run no matter how the plan
+  /// changed mid-flight. Filled by Stop()/SnapshotStats().
+  std::vector<TaskStats> op_totals;
 };
 
 /// Owns tasks, channels and the executor for one deployed application.
 ///
-/// Lifecycle: Create() -> Start() -> (workload runs) -> Stop().
-/// Throughput/latency are observed through the application's
-/// SinkTelemetry (common/telemetry.h), which sink operators update.
+/// Lifecycle: Create() -> Start() -> (workload runs, ApplyMigration()
+/// zero or more times) -> Stop(). Start/Stop/ApplyMigration/
+/// SnapshotStats are serialized by an internal mutex, so a controller
+/// thread (Job autopilot) can drive migrations while another thread
+/// owns Start/Stop. Throughput/latency are observed through the
+/// application's SinkTelemetry (common/telemetry.h), which sink
+/// operators update.
 class BriskRuntime {
  public:
   /// Builds the runtime: instantiates every operator replica via its
@@ -66,19 +85,112 @@ class BriskRuntime {
   /// Convenience: Start, sleep `seconds` of wall-clock, Stop.
   StatusOr<RunStats> RunFor(double seconds);
 
+  /// Live pause-and-migrate re-planning (§5.3): executes a
+  /// MigrationPlan (kMove/kStart/kStop steps, as produced by
+  /// DynamicReoptimizer/DiffPlans against the plan this runtime is
+  /// currently running) on the live job. The protocol:
+  ///
+  ///   1. quiesce — spouts stop at a batch boundary, bolts drain
+  ///      in-flight envelopes (the PR-4 park machinery idles the
+  ///      workers), the executor joins;
+  ///   2. residual sweep — repeated topological DrainResidual passes
+  ///      push every remaining staged/parked/queued tuple through to
+  ///      the sinks (operators are NOT flushed: the job continues);
+  ///   3. harvest — operator instances move out of their tasks,
+  ///      keeping all internal state; replicas of operators whose
+  ///      replication changes export their keyed state
+  ///      (api::Operator::ExportKeyedState);
+  ///   4. rebuild — tasks and channels are rewired against the new
+  ///      plan; surviving (op, replica) identities adopt their old
+  ///      operator instance and cumulative stats, new replicas are
+  ///      constructed and Prepared, retired replicas fold their stats
+  ///      into the per-operator totals;
+  ///   5. re-partition — exported keyed state is re-bucketed with the
+  ///      fields-grouping hash over the new replica count and imported
+  ///      into its new owners;
+  ///   6. resume — a fresh executor (same ExecutorKind) starts, with
+  ///      thread pinning derived from the *new* socket assignment.
+  ///
+  /// Step validation happens before the pause, so a rejected
+  /// migration leaves the job running undisturbed. Fails if the
+  /// engine is not running.
+  Status ApplyMigration(const opt::MigrationPlan& migration);
+
+  /// The plan currently executing (the migrated plan after
+  /// ApplyMigration). Callers must not retain the reference across
+  /// migrations.
+  const model::ExecutionPlan& plan() const { return plan_; }
+
+  /// Monotonic plan-epoch counter: 0 after Create, +1 per applied
+  /// migration. A statistics observer uses it to notice that per-task
+  /// indices changed under it.
+  int epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Race-free snapshot of the running job's counters (tasks indexed
+  /// by the *current* plan's instance ids, per-op totals across
+  /// epochs) without stopping anything — the §5.3 "statistics are
+  /// periodically collected during runtime" hook the autopilot feeds
+  /// from.
+  RunStats SnapshotStats();
+
   int num_tasks() const { return static_cast<int>(tasks_.size()); }
 
  private:
   BriskRuntime() = default;
+
+  /// Instantiates tasks + channels for `plan` and prepares operators.
+  /// `reuse` (nullable) supplies the surviving operator instance and
+  /// cumulative stats for an (op, replica) identity; fresh instances
+  /// come from the topology factories and get Prepared.
+  struct Harvested {
+    std::unique_ptr<api::Spout> spout;
+    std::unique_ptr<api::Operator> bolt;
+    TaskStats stats;
+    bool valid = false;
+  };
+  Status WireGraph(const model::ExecutionPlan& plan,
+                   const std::function<Harvested(int op, int replica)>& reuse);
+
+  /// Binds tasks and stands up a fresh executor for the current graph.
+  Status StartExecutor();
+
+  /// Stops spouts, waits for drain, halts and joins the executor, and
+  /// folds its counters into the accumulated totals. Returns whether
+  /// the drain reached quiescence (vs timed out). With
+  /// `preserve_inflight` (the migration pause), the halt parks
+  /// batches that would otherwise drop on a full ring, so the
+  /// residual sweep can deliver them; plain Stop() keeps the legacy
+  /// drop-at-halt semantics.
+  bool QuiesceAndJoin(double* drain_seconds, bool preserve_inflight);
+
+  /// Halts (stop_all), joins, and folds the executor's counters into
+  /// the accumulated totals — the epilogue shared by every teardown.
+  void JoinExecutorAndFold();
+
+  /// Repeated topological DrainResidual passes until every channel is
+  /// empty and nothing is parked (single-threaded; executor joined).
+  void SweepResiduals();
 
   /// Polls until every channel is empty and consumption has stopped
   /// advancing (or `timeout_s` elapses). Spouts must already be
   /// stopped. Returns true on quiescence.
   bool WaitForDrain(double timeout_s);
 
+  /// Sums current task stats (plus retired-replica carry-overs) into
+  /// per-operator totals.
+  std::vector<TaskStats> OpTotals() const;
+
+  /// Fills the run-level counters every reporting path shares:
+  /// duration since Start, migration count, per-task snapshots,
+  /// cross-epoch per-op totals and the emitted/consumed sums.
+  /// (ExecutorStats are the caller's concern — they are only safely
+  /// readable once the executor joined.)
+  void CollectStats(RunStats* stats) const;
+
   const api::Topology* topo_ = nullptr;
   EngineConfig config_;
   const hw::NumaEmulator* numa_ = nullptr;
+  model::ExecutionPlan plan_;  ///< the plan currently wired/running
   std::vector<int> instance_sockets_;
   std::vector<int> instance_op_;  ///< operator id per instance
   std::vector<std::unique_ptr<Channel>> channels_;
@@ -86,7 +198,19 @@ class BriskRuntime {
   std::unique_ptr<Executor> executor_;
   StopSignals signals_;
   bool running_ = false;
+  /// A migration failed past its point of no return: the engine is
+  /// down but its counters are still reportable through Stop().
+  bool dead_ = false;
   std::chrono::steady_clock::time_point started_at_;
+
+  /// Serializes Start/Stop/ApplyMigration/SnapshotStats.
+  std::mutex lifecycle_mu_;
+  std::atomic<int> epoch_{0};
+  int migrations_ = 0;
+  /// Stats of replicas retired by migrations, folded per operator.
+  std::vector<TaskStats> retired_op_stats_;
+  /// Park/wake counters of executors torn down by migrations.
+  ExecutorStats retired_executor_;
 };
 
 }  // namespace brisk::engine

@@ -158,7 +158,17 @@ void Task::EmitTo(uint16_t stream_id, Tuple t) {
 }
 
 bool Task::PushEnvelope(Envelope&& env, Channel* channel) {
-  if (cooperative_) {
+  // Migration pause: batches must survive the halt for the residual
+  // sweep, so even the legacy mode switches to parking (spinning would
+  // never release under a joined consumer, dropping would lose data).
+  const bool preserve =
+      signals_ != nullptr &&
+      signals_->preserve_inflight.load(std::memory_order_relaxed);
+  // The finalize/migration epilogues run single-threaded after the
+  // executor joined: spinning would hang and dropping would lose
+  // tuples, so both modes park there and rely on the caller's
+  // topological passes to free ring space downstream.
+  if (cooperative_ || finalizing_ || preserve) {
     // Preserve per-channel batch order: while anything is parked, new
     // envelopes queue behind it instead of overtaking. The in-flight
     // cap is lifted during Finalize — the consumer is no longer
@@ -169,8 +179,15 @@ bool Task::PushEnvelope(Envelope&& env, Channel* channel) {
         channel->SizeApprox() < cap && channel->TryPush(std::move(env))) {
       return true;
     }
-    if (signals_ != nullptr &&
-        signals_->stop_all.load(std::memory_order_relaxed)) {
+    // The drop decision re-reads the signals in halt-publication
+    // order: the migration stores preserve_inflight *before* stop_all
+    // (release), so observing stop_all (acquire) guarantees observing
+    // preserve mode — checking in any other order can read a stale
+    // `preserve == false` next to a fresh `stop_all == true` and drop
+    // the batch the residual sweep is about to collect.
+    if (!finalizing_ && signals_ != nullptr &&
+        signals_->stop_all.load(std::memory_order_acquire) &&
+        !signals_->preserve_inflight.load(std::memory_order_relaxed)) {
       return true;  // shutdown: in-flight batch is dropped, like legacy
     }
     ++stats_.backpressure_parks;
@@ -179,11 +196,23 @@ bool Task::PushEnvelope(Envelope&& env, Channel* channel) {
     return false;
   }
   // Legacy back-pressure: spin until the consumer drains (or we are
-  // stopped, in which case the in-flight batch is dropped).
+  // stopped, in which case the in-flight batch is dropped). A thread
+  // spinning here when a migration halts must park instead of
+  // dropping: the consumer it waits on is joining, and the residual
+  // sweep will deliver the parked batch. The stop_all acquire +
+  // preserve-after ordering mirrors the cooperative branch above —
+  // seeing the halt guarantees seeing the preserve mode published
+  // before it.
   while (!channel->TryPush(std::move(env))) {
     ++stats_.backpressure_spins;
     if (signals_ != nullptr &&
-        signals_->stop_all.load(std::memory_order_relaxed)) {
+        signals_->stop_all.load(std::memory_order_acquire)) {
+      if (signals_->preserve_inflight.load(std::memory_order_relaxed)) {
+        ++stats_.backpressure_parks;
+        pending_.push_back(PendingPush{std::move(env), channel});
+        pending_live_ = pending_.size() - pending_head_;
+        return false;
+      }
       return true;
     }
     CpuRelax();
@@ -446,6 +475,20 @@ PollResult Task::PollBolt(int budget) {
 PollResult Task::Poll(int budget) {
   if (!TryDrainPending()) return PollResult::kBlocked;
   return spout_ ? PollSpout(budget) : PollBolt(budget);
+}
+
+void Task::DrainResidual() {
+  finalizing_ = true;
+  TryDrainPending();
+  if (bolt_) {
+    Envelope env;
+    for (Channel* ch : inputs_) {
+      while (ch->TryPop(&env)) Consume(std::move(env), ch);
+    }
+  }
+  FlushAll(true);
+  TryDrainPending();
+  finalizing_ = false;
 }
 
 void Task::Finalize() {

@@ -20,6 +20,7 @@
 
 #include "api/operator.h"
 #include "api/topology.h"
+#include "common/relaxed_counter.h"
 #include "engine/channel.h"
 #include "engine/config.h"
 #include "hardware/numa_emulator.h"
@@ -40,24 +41,38 @@ struct OutRoute {
 };
 
 /// Counters a task exports. Written only by the owning executor
-/// thread; other threads may read them racily for monitoring (the §5.3
-/// statistics-collection loop) — individual counters are plain 64-bit
-/// stores, so snapshots are approximately consistent.
+/// thread; other threads read them for monitoring (the §5.3
+/// statistics-collection loop behind live re-optimization) — each
+/// counter is a RelaxedCounter, so cross-thread snapshots are
+/// race-free and approximately consistent.
 struct TaskStats {
-  uint64_t tuples_in = 0;
-  uint64_t tuples_out = 0;
-  uint64_t batches_in = 0;
-  uint64_t batches_out = 0;
+  RelaxedCounter tuples_in;
+  RelaxedCounter tuples_out;
+  RelaxedCounter batches_in;
+  RelaxedCounter batches_out;
   /// Outbound batches whose shell came from the channel's recycle
   /// queue instead of the allocator (BatchPool hit rate).
-  uint64_t batches_recycled = 0;
+  RelaxedCounter batches_recycled;
   /// Thread-per-task mode: failed pushes retried in a spin loop.
-  uint64_t backpressure_spins = 0;
+  RelaxedCounter backpressure_spins;
   /// Worker-pool mode: envelopes parked for cooperative retry because
   /// the consumer's queue was full (the Pending-reschedule path).
-  uint64_t backpressure_parks = 0;
+  RelaxedCounter backpressure_parks;
   /// Wall time spent inside operator Process()/NextBatch() calls, ns.
-  uint64_t busy_ns = 0;
+  RelaxedCounter busy_ns;
+
+  /// Member-wise accumulation (per-operator totals across migration
+  /// epochs). Caller-thread-only, like every other mutation.
+  void Accumulate(const TaskStats& o) {
+    tuples_in += o.tuples_in;
+    tuples_out += o.tuples_out;
+    batches_in += o.batches_in;
+    batches_out += o.batches_out;
+    batches_recycled += o.batches_recycled;
+    backpressure_spins += o.backpressure_spins;
+    backpressure_parks += o.backpressure_parks;
+    busy_ns += o.busy_ns;
+  }
 };
 
 /// Stop protocol shared by every executor: `stop_spouts` halts
@@ -66,6 +81,12 @@ struct TaskStats {
 struct StopSignals {
   std::atomic<bool> stop_all{false};
   std::atomic<bool> stop_spouts{false};
+  /// Migration mode: the engine is pausing, not dying — a push that
+  /// would normally drop its in-flight batch under `stop_all` (full
+  /// ring at halt time) parks it instead, so the post-join residual
+  /// sweep delivers it and the pause stays lossless even when the
+  /// cooperative drain timed out.
+  std::atomic<bool> preserve_inflight{false};
 };
 
 /// Outcome of one cooperative work quantum.
@@ -115,6 +136,18 @@ class Task : public api::OutputCollector {
   int instance_id() const { return instance_id_; }
   int socket() const { return socket_; }
   bool is_spout() const { return spout_ != nullptr; }
+  api::Operator* bolt() { return bolt_.get(); }
+
+  /// Live-migration harvest: moves the operator instance (and its
+  /// state) out of this task so a successor task for the same
+  /// (operator, replica) in the next plan epoch can adopt it. The
+  /// husk is destroyed afterwards.
+  std::unique_ptr<api::Spout> TakeSpout() { return std::move(spout_); }
+  std::unique_ptr<api::Operator> TakeBolt() { return std::move(bolt_); }
+
+  /// Seeds this task's counters with a predecessor's, so per-replica
+  /// stats stay cumulative across migration epochs.
+  void SeedStats(const TaskStats& stats) { stats_ = stats; }
 
   Status Prepare(const api::OperatorContext& ctx);
 
@@ -138,11 +171,21 @@ class Task : public api::OutputCollector {
   /// Idempotent.
   void Finalize();
 
+  /// Migration-time drain: like Finalize but *without* the operator
+  /// Flush (the job keeps running on the next plan epoch — stateful
+  /// finals must not fire) and without the once-only latch. Consumes
+  /// everything still queued on the inputs, forces staged batches out,
+  /// and retries parked envelopes; while it runs, back-pressured
+  /// pushes park instead of dropping, so repeated topological passes
+  /// converge with zero tuple loss. Single-threaded: only call after
+  /// all execution threads joined.
+  void DrainResidual();
+
   const TaskStats& stats() const { return stats_; }
 
   /// Envelopes currently parked on cooperative back-pressure. Written
-  /// only by the owning worker; other threads read it racily (the
-  /// drain monitor), like TaskStats.
+  /// only by the owning worker; other threads read it for the drain
+  /// monitor (relaxed, like TaskStats).
   size_t pending_live() const { return pending_live_; }
 
   // OutputCollector (called by the wrapped operator during Process).
@@ -224,7 +267,8 @@ class Task : public api::OutputCollector {
   };
   std::vector<PendingPush> pending_;
   size_t pending_head_ = 0;
-  size_t pending_live_ = 0;  ///< pending_.size() - pending_head_
+  /// pending_.size() - pending_head_, mirrored for cross-thread reads.
+  RelaxedCounter pending_live_;
 
   // Spout rate limiting.
   double tokens_ = 0.0;

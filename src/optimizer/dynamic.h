@@ -55,6 +55,18 @@ struct MigrationPlan {
 StatusOr<MigrationPlan> DiffPlans(const model::ExecutionPlan& current,
                                   const model::ExecutionPlan& next);
 
+/// Reconstructs the target plan a migration describes: applies kMove /
+/// kStart / kStop steps to `current` and returns the resulting plan.
+/// Validates that the steps are consistent with `current` (moves name
+/// the occupied socket, starts/stops are contiguous at the replica
+/// tail, no op both starts and stops), so for any two plans over the
+/// same topology, ApplyStepsToPlan(a, DiffPlans(a, b)) == b. This is
+/// what lets a live engine, which only remembers the plan it is
+/// running, execute a MigrationPlan without being handed the new plan
+/// object.
+StatusOr<model::ExecutionPlan> ApplyStepsToPlan(
+    const model::ExecutionPlan& current, const MigrationPlan& migration);
+
 /// Outcome of one reoptimization check.
 struct ReoptDecision {
   bool reoptimized = false;
@@ -76,6 +88,24 @@ struct DynamicOptions {
   /// fraction — switching has a cost (§5.3's motivation for cheap
   /// heuristics; we make the trade-off explicit instead).
   double min_gain = 0.05;
+
+  // Damping for the closed observe → check → migrate loop (consumed by
+  // the Job autopilot, not by Check itself, which is stateless).
+  // Windowed T_e observations on a busy host jitter 20–30% while true
+  // workload drift (selectivity, sustained cost shifts) persists
+  // across windows; without damping the controller reads the noise as
+  // drift and flaps — migrating every interval forever.
+
+  /// Exponential smoothing factor for observed profiles across
+  /// windows: smoothed = alpha * window + (1 - alpha) * smoothed.
+  /// 1 = trust each raw window (no smoothing).
+  double observation_ewma_alpha = 0.4;
+  /// Observation windows to sit out after an applied migration before
+  /// checking again, so the rebuilt engine's warm-up (fresh batch
+  /// pools, repartitioned state, new worker assignment) is not read as
+  /// fresh drift.
+  int settle_windows = 2;
+
   RlasOptions rlas;
 };
 

@@ -104,5 +104,29 @@ TEST(ObservedProfilesTest, FeedsDriftDetectorEndToEnd) {
               obs2->Get("splitter")->selectivity[0], 0.2);
 }
 
+TEST(BlendProfilesTest, ExponentiallySmoothsTeAndSelectivity) {
+  model::ProfileSet into;
+  into.Set("x", model::OperatorProfile::Simple(1000, 64, 64, /*sel=*/10.0));
+  model::ProfileSet sample;
+  sample.Set("x", model::OperatorProfile::Simple(2000, 64, 64, /*sel=*/4.0));
+  sample.Set("y", model::OperatorProfile::Simple(500, 32, 32, /*sel=*/1.0));
+  BlendProfiles(&into, sample, 0.25);
+  EXPECT_DOUBLE_EQ(into.Get("x")->te_cycles, 0.25 * 2000 + 0.75 * 1000);
+  EXPECT_DOUBLE_EQ(into.Get("x")->selectivity[0], 0.25 * 4.0 + 0.75 * 10.0);
+  // Operators first seen in the sample are adopted as-is.
+  ASSERT_TRUE(into.Has("y"));
+  EXPECT_DOUBLE_EQ(into.Get("y")->te_cycles, 500);
+}
+
+TEST(BlendProfilesTest, AlphaOneReplacesWithSample) {
+  model::ProfileSet into;
+  into.Set("x", model::OperatorProfile::Simple(1000, 64, 64, 10.0));
+  model::ProfileSet sample;
+  sample.Set("x", model::OperatorProfile::Simple(300, 64, 64, 3.0));
+  BlendProfiles(&into, sample, 1.0);
+  EXPECT_DOUBLE_EQ(into.Get("x")->te_cycles, 300);
+  EXPECT_DOUBLE_EQ(into.Get("x")->selectivity[0], 3.0);
+}
+
 }  // namespace
 }  // namespace brisk::engine

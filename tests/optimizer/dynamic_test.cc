@@ -77,6 +77,73 @@ TEST(DiffPlansTest, DetectsMovesStartsStops) {
   }
 }
 
+TEST(ApplyStepsToPlanTest, RoundTripsDiffPlans) {
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto old_plan =
+      ExecutionPlan::Create(app->topology_ptr.get(), {1, 2, 2, 2, 1});
+  auto new_plan =
+      ExecutionPlan::Create(app->topology_ptr.get(), {2, 2, 3, 1, 1});
+  ASSERT_TRUE(old_plan.ok() && new_plan.ok());
+  old_plan->PlaceAllOn(0);
+  new_plan->PlaceAllOn(1);
+  new_plan->SetSocket(new_plan->InstanceId(2, 2), 0);
+  auto diff = DiffPlans(*old_plan, *new_plan);
+  ASSERT_TRUE(diff.ok());
+  auto rebuilt = ApplyStepsToPlan(*old_plan, *diff);
+  ASSERT_TRUE(rebuilt.ok());
+  ASSERT_EQ(rebuilt->num_instances(), new_plan->num_instances());
+  EXPECT_EQ(rebuilt->replication(), new_plan->replication());
+  for (int i = 0; i < new_plan->num_instances(); ++i) {
+    EXPECT_EQ(rebuilt->SocketOf(i), new_plan->SocketOf(i)) << "instance " << i;
+  }
+  // The diff of the rebuilt plan against the target is empty.
+  auto rediff = DiffPlans(*rebuilt, *new_plan);
+  ASSERT_TRUE(rediff.ok());
+  EXPECT_TRUE(rediff->empty());
+}
+
+TEST(ApplyStepsToPlanTest, EmptyMigrationIsIdentity) {
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::CreateDefault(app->topology_ptr.get());
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+  auto rebuilt = ApplyStepsToPlan(*plan, MigrationPlan{});
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->replication(), plan->replication());
+  for (int i = 0; i < plan->num_instances(); ++i) {
+    EXPECT_EQ(rebuilt->SocketOf(i), plan->SocketOf(i));
+  }
+}
+
+TEST(ApplyStepsToPlanTest, RejectsInconsistentSteps) {
+  auto app = apps::MakeApp(AppId::kWordCount);
+  ASSERT_TRUE(app.ok());
+  auto plan = ExecutionPlan::Create(app->topology_ptr.get(), {1, 1, 2, 1, 1});
+  ASSERT_TRUE(plan.ok());
+  plan->PlaceAllOn(0);
+
+  MigrationPlan bad_move;
+  bad_move.steps.push_back({MigrationStep::kMove, /*op=*/2, /*replica=*/0,
+                            /*from=*/1, /*to=*/0});  // replica runs on 0
+  EXPECT_FALSE(ApplyStepsToPlan(*plan, bad_move).ok());
+
+  MigrationPlan stops_everything;
+  stops_everything.steps.push_back(
+      {MigrationStep::kStop, /*op=*/2, /*replica=*/1, /*from=*/0, /*to=*/-1});
+  stops_everything.steps.push_back(
+      {MigrationStep::kStop, /*op=*/2, /*replica=*/0, /*from=*/0, /*to=*/-1});
+  EXPECT_FALSE(ApplyStepsToPlan(*plan, stops_everything).ok());
+
+  MigrationPlan start_and_stop;
+  start_and_stop.steps.push_back(
+      {MigrationStep::kStart, /*op=*/2, /*replica=*/2, /*from=*/-1, /*to=*/0});
+  start_and_stop.steps.push_back(
+      {MigrationStep::kStop, /*op=*/2, /*replica=*/1, /*from=*/0, /*to=*/-1});
+  EXPECT_FALSE(ApplyStepsToPlan(*plan, start_and_stop).ok());
+}
+
 TEST(DiffPlansTest, RejectsDifferentTopologies) {
   auto a = apps::MakeApp(AppId::kWordCount);
   auto b = apps::MakeApp(AppId::kWordCount);
