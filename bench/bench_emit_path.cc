@@ -123,12 +123,15 @@ constexpr double kBaselineShuffleAllocsPerTuple = 2.125;
 /// single-core; interleaving producer and consumer measures the real
 /// per-tuple path without scheduler noise). With `recycle` the drain
 /// side hands empty batch shells back through the channel's return
-/// queue (the engine's BatchPool protocol); without it, it frees them.
+/// queue (the engine's BatchPool protocol); without it, shells come
+/// back through the ring slots themselves (reuse_ring_shells), so
+/// both modes are allocation-free in steady state.
 EmitResult RunEmitBench(api::GroupingType grouping, int consumers, int batch,
                         uint64_t rounds, bool recycle) {
   EngineConfig cfg = EngineConfig::Brisk();
   cfg.batch_size = batch;
   cfg.recycle_batches = recycle;
+  const bool reuse = cfg.reuse_ring_shells && !cfg.recycle_batches;
   Task task(0, 0, cfg, nullptr);
   std::vector<std::unique_ptr<Channel>> channels;
   OutRoute route;
@@ -137,7 +140,7 @@ EmitResult RunEmitBench(api::GroupingType grouping, int consumers, int batch,
   route.key_field = 0;
   for (int c = 0; c < consumers; ++c) {
     channels.push_back(
-        std::make_unique<Channel>(0, c + 1, cfg.queue_capacity));
+        std::make_unique<Channel>(0, c + 1, cfg.queue_capacity, reuse));
     route.channels.push_back(channels.back().get());
     route.buffer_index.push_back(task.AddBuffer());
   }
@@ -165,6 +168,9 @@ EmitResult RunEmitBench(api::GroupingType grouping, int consumers, int batch,
         if (recycle) {
           env.batch->Reset();
           ch->Recycle(std::move(env.batch));
+        } else if (reuse) {
+          env.batch->Reset();
+          ch->ReturnShell(std::move(env.batch));  // back via the ring
         } else {
           env.batch.reset();  // consumer frees the batch (no pool)
         }
@@ -173,8 +179,14 @@ EmitResult RunEmitBench(api::GroupingType grouping, int consumers, int batch,
   };
 
   // Warm-up: reach steady-state capacities (staging buffers, queue
-  // slots, pooled batches) before counting anything.
-  for (int r = 0; r < 32; ++r) {
+  // slots, pooled batches) before counting anything. The ring-reuse
+  // mode needs one full ring lap — each push lands one slot further,
+  // and a slot only yields a recovered shell after the consumer has
+  // deposited into it once — so warm up past the ring size (the
+  // rounded-up power of two above queue_capacity), one push per
+  // channel per round.
+  const int warmup = 2 * static_cast<int>(cfg.queue_capacity) + 64;
+  for (int r = 0; r < warmup; ++r) {
     emit_round();
     drain();
   }
@@ -284,14 +296,17 @@ int Main(int argc, char** argv) {
   if (!bench::WriteJsonFile(out_path, doc)) return 1;
   std::printf("wrote %s\n", out_path.c_str());
 
-  // CI gate: the pooled emit path must not touch the allocator in
-  // steady state — a single alloc per tuple (or per batch) is a
-  // regression of the whole point of this data plane.
-  if (shuffle.allocs_per_tuple != 0.0 || fields.allocs_per_tuple != 0.0) {
+  // CI gate: the emit path must not touch the allocator in steady
+  // state — pooled (BatchPool) *and* unpooled (ring-shell reuse). A
+  // single alloc per tuple (or per batch) is a regression of the
+  // whole point of this data plane.
+  if (shuffle.allocs_per_tuple != 0.0 || fields.allocs_per_tuple != 0.0 ||
+      shuffle_nopool.allocs_per_tuple != 0.0) {
     std::fprintf(stderr,
-                 "FAIL: steady-state allocs/tuple nonzero with pooling "
-                 "(shuffle %.4f, fields %.4f)\n",
-                 shuffle.allocs_per_tuple, fields.allocs_per_tuple);
+                 "FAIL: steady-state allocs/tuple nonzero "
+                 "(shuffle %.4f, fields %.4f, shuffle-nopool %.4f)\n",
+                 shuffle.allocs_per_tuple, fields.allocs_per_tuple,
+                 shuffle_nopool.allocs_per_tuple);
     return 1;
   }
   return 0;

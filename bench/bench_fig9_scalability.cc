@@ -72,9 +72,43 @@ int main() {
     }
     bench::PrintRule(widths);
   }
+  bench::Banner("Figure 9c",
+                "WC vs #sockets, plain vs compiled-fusion BriskStream "
+                "(K events/s)");
+  {
+    const std::vector<int> widths = {18, 12, 12, 12, 12};
+    bench::PrintRule(widths);
+    bench::PrintRow({"system", "1", "2", "4", "8"}, widths);
+    bench::PrintRule(widths);
+    std::vector<std::string> plain_row = {"BriskStream"};
+    std::vector<std::string> compiled_row = {"Brisk (compiled)"};
+    for (const int s : kSockets) {
+      auto m = full.Truncated(s);
+      if (!m.ok()) return 1;
+      auto plain = bench::RunSystem(apps::AppId::kWordCount, *m,
+                                    apps::SystemKind::kBrisk);
+      auto compiled = bench::RunBriskCompiled(apps::AppId::kWordCount, *m);
+      if (!plain.ok() || !compiled.ok()) {
+        std::fprintf(stderr, "WC@%d: %s\n", s,
+                     (plain.ok() ? compiled : plain)
+                         .status()
+                         .ToString()
+                         .c_str());
+        return 1;
+      }
+      plain_row.push_back(bench::Keps(plain->sim.throughput_tps));
+      compiled_row.push_back(bench::Keps(compiled->sim.throughput_tps));
+    }
+    bench::PrintRow(plain_row, widths);
+    bench::PrintRow(compiled_row, widths);
+    bench::PrintRule(widths);
+  }
+
   std::printf(
       "Paper (Fig. 9): near-linear 1->4 sockets (~100%%->~380%%), "
       "sub-linear 4->8\n  (the inter-tray RMA jump); Storm/Flink stay "
-      "nearly flat.\n");
+      "nearly flat. Compiled fusion\n  shifts the whole WC curve up — "
+      "the chain's smaller T_e frees replica budget\n  at every socket "
+      "count.\n");
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "optimizer/fusion.h"
+
 namespace brisk::bench {
 
 StatusOr<OptimizedApp> OptimizeApp(apps::AppId app,
@@ -82,6 +84,46 @@ StatusOr<SystemRun> RunSystem(apps::AppId app, const hw::MachineSpec& machine,
   BRISK_ASSIGN_OR_RETURN(out.sim,
                          sim::Simulate(machine, out.profiles, out.plan, cfg));
   out.topology_keepalive = bundle.topology_ptr;
+  return out;
+}
+
+StatusOr<SystemRun> RunBriskCompiled(apps::AppId app,
+                                     const hw::MachineSpec& machine) {
+  SystemRun out;
+  out.system = apps::SystemKind::kBrisk;
+  BRISK_ASSIGN_OR_RETURN(apps::AppBundle bundle, apps::MakeApp(app));
+  BRISK_ASSIGN_OR_RETURN(
+      model::ProfileSet base_profiles,
+      apps::ProfilesFor(app, apps::SystemKind::kBrisk));
+  // Same bounded RLAS settings the fusion ablation uses: AutoFuse runs
+  // one RLAS pass per candidate per round, so the inner loops must stay
+  // short for the harness to finish in minutes.
+  opt::RlasOptions options;
+  options.placement.compress_ratio = 5;
+  options.placement.max_seconds = 0.5;
+  options.placement.max_nodes = 20000;
+  options.max_iterations = 20;
+  opt::FusionOptions fusion;
+  fusion.compiled_te_discount = opt::kMeasuredCompiledTeDiscount;
+  BRISK_ASSIGN_OR_RETURN(
+      opt::AutoFuseResult fused,
+      opt::AutoFuse(bundle.topology(), base_profiles, machine, options,
+                    fusion));
+  out.profiles = fused.profiles;
+  // Final plan under the same (unbounded) RLAS settings RunSystem's
+  // Brisk arm uses — the bounded options above only steer the
+  // candidate search, and a weaker final pass would make the compiled
+  // row an optimizer-budget comparison instead of a fusion one.
+  opt::RlasOptions final_options;
+  final_options.placement.compress_ratio = 5;
+  opt::RlasOptimizer optimizer(&machine, &out.profiles, final_options);
+  BRISK_ASSIGN_OR_RETURN(opt::RlasResult r,
+                         optimizer.Optimize(*fused.topology));
+  out.plan = r.plan;
+  BRISK_ASSIGN_OR_RETURN(
+      out.sim, sim::Simulate(machine, out.profiles, out.plan,
+                             DefaultSimConfig()));
+  out.topology_keepalive = fused.topology;
   return out;
 }
 

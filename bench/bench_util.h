@@ -58,6 +58,15 @@ struct SystemRun {
 StatusOr<SystemRun> RunSystem(apps::AppId app, const hw::MachineSpec& machine,
                               apps::SystemKind system);
 
+/// BriskStream with compiled fusion: greedy AutoFuse prices
+/// kernel-backed chains at the measured compiled:interpreted per-tuple
+/// ratio (opt::kMeasuredCompiledTeDiscount, from bench_pipeline.cc),
+/// then RLAS plans and the simulator measures the fused topology.
+/// Apps whose chains are not kernel-backed degrade gracefully to plain
+/// interpreted fusion (or no fusion where it never helps).
+StatusOr<SystemRun> RunBriskCompiled(apps::AppId app,
+                                     const hw::MachineSpec& machine);
+
 /// Formats tuples/sec as the paper's "K events/s" unit.
 std::string Keps(double tuples_per_sec);
 

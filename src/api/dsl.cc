@@ -1,6 +1,6 @@
 #include "api/dsl.h"
 
-#include <cstring>
+#include "api/pipeline.h"
 
 namespace brisk::dsl {
 
@@ -94,48 +94,12 @@ bool Collector::EmitTo(const std::string& stream, Tuple t) {
 
 namespace detail {
 
-std::string KeyOf(const Field& f) {
-  switch (f.index()) {
-    case 0: {
-      const int64_t v = f.AsInt();
-      std::string key(1 + sizeof(v), 'i');
-      std::memcpy(&key[1], &v, sizeof(v));
-      return key;
-    }
-    case 1: {
-      const double v = f.AsDouble();
-      std::string key(1 + sizeof(v), 'd');
-      std::memcpy(&key[1], &v, sizeof(v));
-      return key;
-    }
-    default: {
-      const std::string_view s = f.AsString();
-      std::string key;
-      key.reserve(1 + s.size());
-      key.push_back('s');
-      key.append(s);
-      return key;
-    }
-  }
-}
+// The canonical codec lives with the kernel layer (api/kernels.cc) so
+// kernel aggregates and dsl aggregates key state identically; these
+// forwarders keep the historical dsl::detail entry points.
+std::string KeyOf(const Field& f) { return api::detail::KeyOf(f); }
 
-Field FieldOf(const std::string& key) {
-  if (key.empty()) return Field();
-  switch (key[0]) {
-    case 'i': {
-      int64_t v = 0;
-      std::memcpy(&v, key.data() + 1, sizeof(v));
-      return Field(v);
-    }
-    case 'd': {
-      double v = 0;
-      std::memcpy(&v, key.data() + 1, sizeof(v));
-      return Field(v);
-    }
-    default:
-      return Field(std::string_view(key).substr(1));
-  }
-}
+Field FieldOf(const std::string& key) { return api::detail::FieldOf(key); }
 
 }  // namespace detail
 
@@ -161,8 +125,31 @@ Stream Stream::Attach(const std::string& name, ProcessFactory factory,
                 grouping, key_field);
 }
 
+Stream Stream::AttachKernel(const std::string& name, api::KernelDesc kernel,
+                            api::GroupingType grouping,
+                            size_t key_field) const {
+  Pipeline::Node node;
+  node.name = name;
+  node.kernels.push_back(std::move(kernel));
+  node.subs.push_back({node_, stream_, grouping, key_field});
+  const int id = pipe_->AddNode(std::move(node));
+  return Stream(pipe_, id, "default");
+}
+
 Stream Stream::Process(const std::string& name, ProcessFactory factory) const {
   return Attach(name, std::move(factory), grouping_, key_field_);
+}
+
+Stream Stream::Map(const std::string& name, api::KernelDesc kernel) const {
+  return AttachKernel(name, std::move(kernel), grouping_, key_field_);
+}
+
+Stream Stream::Filter(const std::string& name, api::KernelDesc kernel) const {
+  return AttachKernel(name, std::move(kernel), grouping_, key_field_);
+}
+
+Stream Stream::FlatMap(const std::string& name, api::KernelDesc kernel) const {
+  return AttachKernel(name, std::move(kernel), grouping_, key_field_);
 }
 
 Stream Stream::FlatMap(const std::string& name, ProcessFn fn) const {
@@ -269,12 +256,23 @@ StatusOr<api::Topology> Pipeline::Build() && {
         declarer.DeclareStream(node.streams[i]);
       }
     } else {
-      api::OperatorFactory factory =
-          [pf = std::move(node.process)]() -> std::unique_ptr<api::Operator> {
-        return std::make_unique<LambdaBolt>(pf);
-      };
+      api::OperatorFactory factory;
+      if (!node.kernels.empty()) {
+        factory =
+            [ks = node.kernels]() -> std::unique_ptr<api::Operator> {
+          return std::make_unique<api::KernelBolt>(ks);
+        };
+      } else {
+        factory =
+            [pf = std::move(node.process)]() -> std::unique_ptr<api::Operator> {
+          return std::make_unique<LambdaBolt>(pf);
+        };
+      }
       auto declarer =
           b.AddBolt(node.name, std::move(factory), node.parallelism);
+      if (!node.kernels.empty()) {
+        declarer.WithKernels(std::move(node.kernels));
+      }
       for (size_t i = 1; i < node.streams.size(); ++i) {
         declarer.DeclareStream(node.streams[i]);
       }

@@ -46,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/kernels.h"
 #include "api/operator.h"
 #include "api/topology.h"
 #include "common/status.h"
@@ -171,6 +172,19 @@ class Stream {
   /// Attaches a filter forwarding tuples `fn` accepts.
   Stream Filter(const std::string& name, FilterFn fn) const;
 
+  // Kernel-descriptor verbs (api/kernels.h). The attached bolt is an
+  // api::KernelBolt, so the engine can dispatch whole batches through
+  // its compiled pipeline, and the fusion pass can concatenate
+  // adjacent kernel chains into one. Row-wise lambda verbs remain the
+  // fallback for anything a descriptor cannot express.
+
+  /// Attaches a kernel-backed map (e.g. api::MapOf / MapNumConst).
+  Stream Map(const std::string& name, api::KernelDesc kernel) const;
+  /// Attaches a kernel-backed filter (api::FilterOf / FilterCmpConst).
+  Stream Filter(const std::string& name, api::KernelDesc kernel) const;
+  /// Attaches a kernel-backed expanding transform (api::FlatMapOf).
+  Stream FlatMap(const std::string& name, api::KernelDesc kernel) const;
+
   /// Keys the stream by tuple field `field`: downstream state is
   /// partitioned with fields grouping (same key → same replica).
   KeyedStream KeyBy(size_t field) const;
@@ -205,6 +219,8 @@ class Stream {
                 api::GroupingType grouping, size_t key_field) const;
   Stream Attach(const std::string& name, ProcessFactory factory,
                 api::GroupingType grouping, size_t key_field) const;
+  Stream AttachKernel(const std::string& name, api::KernelDesc kernel,
+                      api::GroupingType grouping, size_t key_field) const;
 
   Pipeline* pipe_;
   int node_;
@@ -272,6 +288,22 @@ class KeyedStream {
                         api::GroupingType::kFields, key);
   }
 
+  /// Kernel-descriptor aggregate: same per-key state model and
+  /// migration behavior as the lambda form above, but declared as an
+  /// api::KernelDesc so the engine updates keyed state batch at a
+  /// time and the fusion pass can chain it. `fn` emits through an
+  /// api::RowEmitter (unset origin timestamps inherit the input's).
+  template <typename State>
+  Stream Aggregate(
+      const std::string& name, State init,
+      std::function<void(State&, const Tuple&, api::RowEmitter&)> fn) const {
+    return base_.AttachKernel(
+        name,
+        api::AggregateOf<State>(key_field_, std::move(init), std::move(fn),
+                                1.0, name),
+        api::GroupingType::kFields, key_field_);
+  }
+
   /// General fields-grouped bolt (state partitioning without the
   /// per-key map Aggregate maintains).
   Stream Process(const std::string& name, ProcessFactory factory) const {
@@ -333,6 +365,7 @@ class Pipeline {
     api::SpoutFactory spout;   // interop source
     SourceFactory source;      // lambda source
     ReplicaFactory process;    // bolts and sinks (body + state hooks)
+    std::vector<api::KernelDesc> kernels;  // kernel-backed verbs
     int parallelism = 1;
     std::vector<std::string> streams{"default"};
     std::vector<Sub> subs;

@@ -42,6 +42,12 @@ std::string JobReport::ToString() const {
        << "): " << sink_tuples << " tuples at the sink ("
        << sink_throughput_tps() << " tuples/s), p99 latency "
        << sink_latency_ns.Percentile(0.99) / 1e6 << " ms\n";
+    const uint64_t vec = vectorized_tuples();
+    if (vec > 0) {
+      os << "compiled pipelines: " << vec
+         << " tuples batch-dispatched (" << vectorized_ratio() * 100
+         << "% of task ingress)\n";
+    }
   }
   for (const MigrationRecord& m : migrations) {
     os << "migration @" << m.at_seconds << " s: drift " << m.drift * 100

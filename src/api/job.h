@@ -95,6 +95,27 @@ struct JobReport {
                                 : 0.0;
   }
 
+  /// Tuples that went through compiled-pipeline batch dispatch, and
+  /// their share of all task ingress (spout production included, so
+  /// the ratio is an indicator, not an exact bolt share). > 0 proves
+  /// compiled execution engaged; 0 means fully interpreted (no
+  /// kernel-backed operators, or a config that forces the row path).
+  uint64_t vectorized_tuples() const {
+    uint64_t n = 0;
+    for (const auto& t : stats.tasks) n += t.tuples_vec;
+    return n;
+  }
+  double vectorized_ratio() const {
+    uint64_t vec = 0;
+    uint64_t all = 0;
+    for (size_t i = 0; i < stats.tasks.size(); ++i) {
+      vec += stats.tasks[i].tuples_vec;
+      all += stats.tasks[i].tuples_in;
+    }
+    return all > 0 ? static_cast<double>(vec) / static_cast<double>(all)
+                   : 0.0;
+  }
+
   std::string ToString() const;
 };
 

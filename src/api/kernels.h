@@ -1,0 +1,192 @@
+// Typed kernel descriptors — the vocabulary compiled pipelines are
+// built from.
+//
+// A KernelDesc describes one stage of a fused chain in both of the
+// forms the engine can execute:
+//
+//   * row-wise closures (`filter_row` / `map_row` / `expand_row`) —
+//     the interpreted fallback, used when the engine runs tuple at a
+//     time (serialization modes, spout-side chains, property tests);
+//   * optional batch closures (`filter_batch` / `map_batch`) — tight
+//     loops over one JumboTuple under a SelectionVector, used by
+//     CompiledPipeline::RunBatch.
+//
+// Both forms are provided by the constructors below, so a chain of
+// descriptors is executable either way with identical semantics; the
+// randomized equivalence test in tests/api/kernel_pipeline_test.cc
+// holds the two paths to the exact same output sequence.
+//
+// Descriptors are plain copyable values: the dsl layer attaches them
+// to topology nodes, the fusion pass concatenates them across fused
+// operators, and each engine replica compiles its own private copy
+// (aggregate state is created per replica via `make_aggregate`).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "api/operator.h"
+#include "common/column_batch.h"
+#include "common/tuple.h"
+
+namespace brisk::api {
+
+namespace detail {
+/// Canonical map key for a grouping field (type-tagged so an int and a
+/// string with identical bytes never collide). Shared with dsl
+/// aggregates so kernel and lambda state interoperate.
+std::string KeyOf(const Field& f);
+/// Inverse of KeyOf: reconstructs the Field exactly, so exported state
+/// re-hashes the way live tuples do.
+Field FieldOf(const std::string& key);
+}  // namespace detail
+
+enum class KernelKind : uint8_t { kMap, kFilter, kFlatMap, kAggregate };
+
+/// Comparison / arithmetic vocabulary for the constant-folding
+/// constructors (the cases a bench or simple parser chain needs; use
+/// the closure constructors for anything richer).
+enum class CmpOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+enum class NumOp : uint8_t { kAdd, kSub, kMul };
+
+/// Row sink for expanding kernels (FlatMap bodies, aggregate
+/// emissions). Emitted tuples with an unset origin timestamp inherit
+/// the input row's — the same rule dsl::Collector::Derive applies.
+class RowEmitter {
+ public:
+  virtual ~RowEmitter() = default;
+  virtual void Emit(Tuple t) = 0;
+};
+
+/// Per-replica keyed aggregate execution state. Update order is the
+/// batch's ascending row order in both execution modes, so state
+/// evolution is identical between interpreted and compiled runs.
+class AggregateExec {
+ public:
+  virtual ~AggregateExec() = default;
+  virtual void UpdateRow(const Tuple& in, RowEmitter& out) = 0;
+  /// Live-migration hand-off, mirroring api::Operator's contract:
+  /// export clears the local state.
+  virtual std::vector<KeyedStateEntry> ExportKeyedState() = 0;
+  virtual void ImportKeyedState(std::vector<KeyedStateEntry> entries) = 0;
+};
+
+/// One pipeline stage. `kind` picks which members are meaningful:
+/// filters carry filter_row (+ optional filter_batch), maps carry
+/// map_row (+ optional map_batch), flatmaps carry expand_row, and
+/// aggregates carry key_field + make_aggregate.
+///
+/// Batch closures may only *clear* selection bits and may read any
+/// row (dead rows hold valid, if stale, tuples); clearing bits of the
+/// word currently being iterated by ForEachSet is safe because the
+/// walk snapshots each word.
+struct KernelDesc {
+  KernelKind kind = KernelKind::kMap;
+  /// Human-readable stage label for JobReport / bench output.
+  std::string debug;
+  /// Expected output:input ratio, feeding the fused cost model.
+  double selectivity_hint = 1.0;
+
+  std::function<bool(const Tuple&)> filter_row;
+  std::function<void(JumboTuple&, SelectionVector&)> filter_batch;
+
+  std::function<void(Tuple&)> map_row;
+  std::function<void(JumboTuple&, const SelectionVector&)> map_batch;
+
+  std::function<void(const Tuple&, RowEmitter&)> expand_row;
+
+  /// Aggregates: tuple field the state is keyed by, and a factory for
+  /// the per-replica execution state.
+  int key_field = -1;
+  std::function<std::unique_ptr<AggregateExec>()> make_aggregate;
+};
+
+/// Filter from an arbitrary keep-predicate.
+KernelDesc FilterOf(std::function<bool(const Tuple&)> pred,
+                    double selectivity_hint = 1.0, std::string debug = "filter");
+
+/// In-place one-to-one transform from an arbitrary closure.
+KernelDesc MapOf(std::function<void(Tuple&)> fn, std::string debug = "map");
+
+/// Expanding transform (0..n outputs per input).
+KernelDesc FlatMapOf(std::function<void(const Tuple&, RowEmitter&)> fn,
+                     double selectivity_hint = 1.0,
+                     std::string debug = "flatmap");
+
+/// `keep row iff fields[col] <op> literal` with a dense batch loop.
+KernelDesc FilterCmpConst(size_t col, CmpOp op, int64_t literal,
+                          double selectivity_hint = 0.5);
+
+/// `fields[col] = fields[col] <op> literal` (int64, wrap-around
+/// arithmetic) with a dense batch loop.
+KernelDesc MapNumConst(size_t col, NumOp op, int64_t literal);
+
+/// Keyed aggregate over `State`: one State (copied from `init`) per
+/// distinct value of fields[key_field] per replica, updated by `fn`,
+/// which also decides what to emit. Interoperates with live plan
+/// migration exactly like dsl::KeyedStream::Aggregate — entries are
+/// exported as (Field key, shared_ptr<State>), re-bucketed by the
+/// fields-grouping hash, and imported by assignment (each key lives in
+/// exactly one old replica).
+template <typename State>
+class TypedAggregate final : public AggregateExec {
+ public:
+  TypedAggregate(size_t key_field, State init,
+                 std::function<void(State&, const Tuple&, RowEmitter&)> fn)
+      : key_field_(key_field), init_(std::move(init)), fn_(std::move(fn)) {}
+
+  void UpdateRow(const Tuple& in, RowEmitter& out) override {
+    auto [it, fresh] =
+        states_.try_emplace(detail::KeyOf(in.fields[key_field_]), init_);
+    (void)fresh;
+    fn_(it->second, in, out);
+  }
+
+  std::vector<KeyedStateEntry> ExportKeyedState() override {
+    std::vector<KeyedStateEntry> out;
+    out.reserve(states_.size());
+    for (auto& [k, v] : states_) {
+      out.push_back(
+          {detail::FieldOf(k), std::make_shared<State>(std::move(v))});
+    }
+    states_.clear();
+    return out;
+  }
+
+  void ImportKeyedState(std::vector<KeyedStateEntry> entries) override {
+    for (auto& e : entries) {
+      states_[detail::KeyOf(e.key)] =
+          std::move(*std::static_pointer_cast<State>(e.state));
+    }
+  }
+
+ private:
+  size_t key_field_;
+  State init_;
+  std::function<void(State&, const Tuple&, RowEmitter&)> fn_;
+  std::unordered_map<std::string, State> states_;
+};
+
+template <typename State>
+KernelDesc AggregateOf(
+    size_t key_field, State init,
+    std::function<void(State&, const Tuple&, RowEmitter&)> fn,
+    double selectivity_hint = 1.0, std::string debug = "aggregate") {
+  KernelDesc d;
+  d.kind = KernelKind::kAggregate;
+  d.debug = std::move(debug);
+  d.selectivity_hint = selectivity_hint;
+  d.key_field = static_cast<int>(key_field);
+  d.make_aggregate = [key_field, init = std::move(init),
+                      fn = std::move(fn)]() -> std::unique_ptr<AggregateExec> {
+    return std::make_unique<TypedAggregate<State>>(key_field, init, fn);
+  };
+  return d;
+}
+
+}  // namespace brisk::api

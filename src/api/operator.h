@@ -93,6 +93,8 @@ struct KeyedStateEntry {
   std::shared_ptr<void> state;
 };
 
+class CompiledPipeline;
+
 /// A continuously running stream operator ("bolt").
 ///
 /// Implementations must be self-contained: one instance is created per
@@ -102,6 +104,12 @@ struct KeyedStateEntry {
 class Operator {
  public:
   virtual ~Operator() = default;
+
+  /// Non-null when this operator's whole behavior is a compiled kernel
+  /// chain (api::KernelBolt): the engine then dispatches whole batches
+  /// through CompiledPipeline::RunBatch instead of per-tuple Process
+  /// calls. Row-wise operators keep the default.
+  virtual CompiledPipeline* pipeline() { return nullptr; }
 
   /// Called once before any Process call.
   virtual Status Prepare(const OperatorContext& ctx) {

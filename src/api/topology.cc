@@ -108,9 +108,33 @@ TopologyBuilder::BoltDeclarer& TopologyBuilder::BoltDeclarer::DeclareStream(
   return *this;
 }
 
+TopologyBuilder::BoltDeclarer& TopologyBuilder::BoltDeclarer::WithKernels(
+    std::vector<KernelDesc> kernels) {
+  parent_->ops_[op_id_].kernels = std::move(kernels);
+  return *this;
+}
+
+TopologyBuilder::BoltDeclarer& TopologyBuilder::BoltDeclarer::WithChain(
+    std::vector<std::string> members, std::vector<OperatorFactory> bolts) {
+  auto& decl = parent_->ops_[op_id_];
+  decl.chain_members = std::move(members);
+  decl.chain_bolts = std::move(bolts);
+  return *this;
+}
+
 TopologyBuilder::SpoutDeclarer& TopologyBuilder::SpoutDeclarer::DeclareStream(
     const std::string& stream) {
   parent_->DeclareStreamOn(op_id_, stream);
+  return *this;
+}
+
+TopologyBuilder::SpoutDeclarer& TopologyBuilder::SpoutDeclarer::WithChain(
+    std::vector<std::string> members, SpoutFactory head,
+    std::vector<OperatorFactory> bolts) {
+  auto& decl = parent_->ops_[op_id_];
+  decl.chain_members = std::move(members);
+  decl.chain_spout = std::move(head);
+  decl.chain_bolts = std::move(bolts);
   return *this;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "api/kernels.h"
 #include "api/operator.h"
 #include "common/status.h"
 
@@ -50,6 +51,22 @@ struct OperatorDecl {
 
   /// Initial replication level (the optimizer may raise it).
   int base_parallelism = 1;
+
+  /// When non-empty, declares that this operator's behavior is exactly
+  /// this kernel chain (see api/kernels.h). The factories stay
+  /// authoritative for execution; the declaration lets the fusion pass
+  /// concatenate chains into one compiled pipeline and lets the cost
+  /// model price a compiled chain below its interpreted sum.
+  std::vector<KernelDesc> kernels;
+
+  /// Fusion bookkeeping. `chain_members` lists the logical operators a
+  /// fused vertex stands for, in chain order (empty == not fused).
+  /// For interpreted chains, `chain_bolts` (and `chain_spout` for a
+  /// spout-rooted chain) keep the member factories so a later fusion
+  /// round flattens the chain instead of nesting wrappers.
+  std::vector<std::string> chain_members;
+  std::vector<OperatorFactory> chain_bolts;
+  SpoutFactory chain_spout;
 
   /// Stream id of a declared output stream, by name. Code that routes
   /// to named streams should resolve ids through this (or through
@@ -145,6 +162,15 @@ class TopologyBuilder {
     /// Declares an extra named output stream; returns its stream id.
     BoltDeclarer& DeclareStream(const std::string& stream);
 
+    /// Declares this bolt's behavior as a kernel chain (OperatorDecl::
+    /// kernels).
+    BoltDeclarer& WithKernels(std::vector<KernelDesc> kernels);
+
+    /// Records fusion bookkeeping (OperatorDecl::{chain_members,
+    /// chain_bolts}) for a fused vertex.
+    BoltDeclarer& WithChain(std::vector<std::string> members,
+                            std::vector<OperatorFactory> bolts);
+
    private:
     TopologyBuilder* parent_;
     int op_id_;
@@ -155,6 +181,12 @@ class TopologyBuilder {
     SpoutDeclarer(TopologyBuilder* parent, int op_id)
         : parent_(parent), op_id_(op_id) {}
     SpoutDeclarer& DeclareStream(const std::string& stream);
+
+    /// Records fusion bookkeeping for a spout-rooted fused chain: the
+    /// head spout factory plus the member bolt factories.
+    SpoutDeclarer& WithChain(std::vector<std::string> members,
+                             SpoutFactory head,
+                             std::vector<OperatorFactory> bolts);
 
    private:
     TopologyBuilder* parent_;

@@ -118,31 +118,42 @@ StatusOr<api::Topology> BuildSpikeDetectionDsl(
   p.Source("spout",
            api::SpoutFactory(
                [params] { return std::make_unique<SensorSpout>(params); }))
-      .Filter("parser", ParserKeeps)
+      .Filter("parser", api::FilterOf(ParserKeeps, 1.0, "parser"))
       .KeyBy(0)
       .Aggregate<Window>(
           "moving_avg", {},
-          [params](Window& w, const Tuple& in, dsl::Collector& out) {
-            const double reading = in.GetDouble(1);
-            w.values.push_back(reading);
-            w.sum += reading;
-            if (static_cast<int>(w.values.size()) > params.window) {
-              w.sum -= w.values.front();
-              w.values.pop_front();
-            }
-            out.Emit(in, {in.fields[0], Field(reading),
-                          Field(w.sum / static_cast<double>(
-                                            w.values.size()))});
-          })
+          std::function<void(Window&, const Tuple&, api::RowEmitter&)>(
+              [params](Window& w, const Tuple& in, api::RowEmitter& out) {
+                const double reading = in.GetDouble(1);
+                w.values.push_back(reading);
+                w.sum += reading;
+                if (static_cast<int>(w.values.size()) > params.window) {
+                  w.sum -= w.values.front();
+                  w.values.pop_front();
+                }
+                Tuple t;
+                t.fields.push_back(in.fields[0]);
+                t.fields.emplace_back(reading);
+                t.fields.emplace_back(
+                    w.sum / static_cast<double>(w.values.size()));
+                t.origin_ts_ns = in.origin_ts_ns;
+                out.Emit(std::move(t));
+              }))
       .FlatMap("spike_detect",
-               [params](const Tuple& in, dsl::Collector& out) {
-                 const double reading = in.GetDouble(1);
-                 const double avg = in.GetDouble(2);
-                 const bool spike =
-                     avg > 0 && reading > params.spike_threshold * avg;
-                 out.Emit(in, {in.fields[0],
-                               Field(static_cast<int64_t>(spike ? 1 : 0))});
-               })
+               api::FlatMapOf(
+                   [params](const Tuple& in, api::RowEmitter& out) {
+                     const double reading = in.GetDouble(1);
+                     const double avg = in.GetDouble(2);
+                     const bool spike =
+                         avg > 0 && reading > params.spike_threshold * avg;
+                     Tuple t;
+                     t.fields.push_back(in.fields[0]);
+                     t.fields.emplace_back(
+                         static_cast<int64_t>(spike ? 1 : 0));
+                     t.origin_ts_ns = in.origin_ts_ns;
+                     out.Emit(std::move(t));
+                   },
+                   1.0, "spike_detect"))
       .Sink("sink", [sink, tap](const Tuple& in) {
         sink->RecordTuple(in.origin_ts_ns, NowNs());
         if (tap) tap(in);

@@ -10,18 +10,32 @@ namespace brisk::apps {
 
 namespace {
 
-/// The DSL splitter body, shared by the WC twins and the drifting
-/// variant: one word tuple per whitespace-separated token.
-void SplitSentenceInto(const Tuple& in, dsl::Collector& out) {
+/// The splitter body as a kernel expand function, shared by the WC
+/// twins, the drifting variant, and the Storm-layer kernel
+/// declaration: one word tuple per whitespace-separated token.
+void SplitSentenceKernel(const Tuple& in, api::RowEmitter& out) {
   const std::string_view sentence = in.GetString(0);
   for (size_t start = 0; start < sentence.size();) {
     size_t end = sentence.find(' ', start);
     if (end == std::string_view::npos) end = sentence.size();
     if (end > start) {
-      out.Emit(in, {Field(sentence.substr(start, end - start))});
+      Tuple t;
+      t.fields.emplace_back(sentence.substr(start, end - start));
+      t.origin_ts_ns = in.origin_ts_ns;
+      out.Emit(std::move(t));
     }
     start = end + 1;
   }
+}
+
+/// The counter body as a kernel aggregate update (per-key int64 count,
+/// one (word, count) emission per input word).
+void CountWordKernel(int64_t& count, const Tuple& in, api::RowEmitter& out) {
+  Tuple t;
+  t.fields.push_back(in.fields[0]);
+  t.fields.emplace_back(++count);
+  t.origin_ts_ns = in.origin_ts_ns;
+  out.Emit(std::move(t));
 }
 
 }  // namespace
@@ -127,10 +141,17 @@ StatusOr<api::Topology> BuildWordCount(std::shared_ptr<SinkTelemetry> sink,
                                        WordCountParams params) {
   api::TopologyBuilder b("word-count");
   b.AddSpout("spout", [params] { return std::make_unique<SentenceSpout>(params); });
+  // The kernel declarations mirror the bolts' behavior exactly, so the
+  // fusion pass can lower a parser+splitter chain to one compiled
+  // pipeline; the factories stay authoritative when unfused.
   b.AddBolt("parser", [] { return std::make_unique<ValidatingParser>(); })
-      .ShuffleFrom("spout");
+      .ShuffleFrom("spout")
+      .WithKernels({api::FilterOf(ParserKeeps, 1.0, "parser")});
   b.AddBolt("splitter", [] { return std::make_unique<Splitter>(); })
-      .ShuffleFrom("parser");
+      .ShuffleFrom("parser")
+      .WithKernels({api::FlatMapOf(
+          SplitSentenceKernel,
+          static_cast<double>(params.words_per_sentence), "splitter")});
   b.AddBolt("counter", [] { return std::make_unique<WordCounter>(); })
       .FieldsFrom("splitter", 0);
   b.AddBolt("sink", [sink] { return std::make_unique<CountingSink>(sink); })
@@ -145,14 +166,16 @@ StatusOr<api::Topology> BuildWordCountDsl(std::shared_ptr<SinkTelemetry> sink,
   p.Source("spout",
            api::SpoutFactory(
                [params] { return std::make_unique<SentenceSpout>(params); }))
-      .Filter("parser", ParserKeeps)
-      .FlatMap("splitter", SplitSentenceInto)
+      .Filter("parser", api::FilterOf(ParserKeeps, 1.0, "parser"))
+      .FlatMap("splitter",
+               api::FlatMapOf(SplitSentenceKernel,
+                              static_cast<double>(params.words_per_sentence),
+                              "splitter"))
       .KeyBy(0)
-      .Aggregate<int64_t>("counter", 0,
-                          [](int64_t& count, const Tuple& in,
-                             dsl::Collector& out) {
-                            out.Emit(in, {in.fields[0], Field(++count)});
-                          })
+      .Aggregate<int64_t>(
+          "counter", 0,
+          std::function<void(int64_t&, const Tuple&, api::RowEmitter&)>(
+              CountWordKernel))
       .Sink("sink", [sink, tap](const Tuple& in) {
         sink->RecordTuple(in.origin_ts_ns, NowNs());
         if (tap) tap(in);
@@ -203,14 +226,16 @@ dsl::Pipeline BuildDriftingWordCountDsl(std::shared_ptr<SinkTelemetry> sink,
                return emitted;
              };
            }))
-      .Filter("parser", ParserKeeps)
-      .FlatMap("splitter", SplitSentenceInto)
+      .Filter("parser", api::FilterOf(ParserKeeps, 1.0, "parser"))
+      .FlatMap("splitter", api::FlatMapOf(SplitSentenceKernel,
+                                          static_cast<double>(
+                                              params.long_words),
+                                          "splitter"))
       .KeyBy(0)
-      .Aggregate<int64_t>("counter", 0,
-                          [](int64_t& count, const Tuple& in,
-                             dsl::Collector& out) {
-                            out.Emit(in, {in.fields[0], Field(++count)});
-                          })
+      .Aggregate<int64_t>(
+          "counter", 0,
+          std::function<void(int64_t&, const Tuple&, api::RowEmitter&)>(
+              CountWordKernel))
       .Sink("sink", [sink, tap](const Tuple& in) {
         sink->RecordTuple(in.origin_ts_ns, NowNs());
         if (tap) tap(in);

@@ -1,0 +1,86 @@
+// Columnar batch view primitives for compiled pipelines.
+//
+// A fused chain executes batch-at-a-time over the tuples of one
+// JumboTuple (§5.2): filters clear bits in a bitmap selection vector
+// instead of copying survivors, maps rewrite fields in place, and only
+// expanding stages (FlatMap/Aggregate emission) materialize new rows.
+// The vector is a flat array of 64-bit words so a 64-tuple batch —
+// the default jumbo size — is exactly one word; iteration over set
+// bits uses count-trailing-zeros, which degrades gracefully to a
+// dense loop when (as usual) every bit is set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace brisk {
+
+/// Bitmap over the rows of one batch. Bit i set == row i is live.
+/// Words beyond `size()` bits are kept zero so word-wise population
+/// counts need no tail masking.
+class SelectionVector {
+ public:
+  /// Re-targets the vector at a batch of `n` rows, all live (or all
+  /// dead when `all_set` is false). Keeps word capacity across calls —
+  /// steady state touches no allocator.
+  void Reset(size_t n, bool all_set = true) {
+    size_ = n;
+    const size_t words = WordCount(n);
+    words_.assign(words, all_set ? ~uint64_t{0} : uint64_t{0});
+    if (all_set && n % 64 != 0 && words > 0) {
+      words_[words - 1] = (uint64_t{1} << (n % 64)) - 1;
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  /// Number of live rows.
+  size_t CountSet() const {
+    size_t n = 0;
+    for (const uint64_t w : words_) n += static_cast<size_t>(PopCount(w));
+    return n;
+  }
+
+  bool NoneSet() const {
+    for (const uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  bool AllSet() const { return CountSet() == size_; }
+
+  /// Calls `fn(row)` for every live row in ascending order. The ctz
+  /// walk skips dead words entirely, so post-filter stages pay for
+  /// survivors only.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    const size_t words = words_.size();
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const size_t i = (w << 6) + static_cast<size_t>(Ctz(bits));
+        fn(i);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  static size_t WordCount(size_t n) { return (n + 63) / 64; }
+
+  static int PopCount(uint64_t w) { return __builtin_popcountll(w); }
+  static int Ctz(uint64_t w) { return __builtin_ctzll(w); }
+
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+};
+
+}  // namespace brisk

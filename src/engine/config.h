@@ -69,6 +69,23 @@ struct EngineConfig {
   /// allocate-per-flush cost it removes.
   bool recycle_batches = true;
 
+  /// Dispatch whole batches through an operator's compiled pipeline
+  /// (api::KernelBolt chains) instead of per-tuple Process calls.
+  /// Only effective in the pass-by-reference mode (serialization and
+  /// the per-tuple legacy overheads force the row-wise path, since
+  /// those costs are precisely what they model). Off reproduces the
+  /// interpreted engine bit-for-bit — the differential matrix runs
+  /// both.
+  bool compile_pipelines = true;
+
+  /// When batch recycling is off, recover drained batch shells through
+  /// the SPSC ring itself (consumer deposits the previous shell into
+  /// the slot it vacates; the producer's push swaps it back out), so
+  /// even the unpooled mode allocates nothing in steady state. Legacy
+  /// modes keep this off — allocating per transfer is the overhead
+  /// they model.
+  bool reuse_ring_shells = true;
+
   /// Charge Formula-2 remote-fetch stalls (busy-wait) for batches that
   /// cross virtual sockets in the plan (hardware substitution — see
   /// DESIGN.md §1).
@@ -162,6 +179,8 @@ struct EngineConfig {
     c.duplicate_headers = true;
     c.extra_condition_checks = true;
     c.recycle_batches = false;  // legacy runtimes allocate per transfer
+    c.compile_pipelines = false;
+    c.reuse_ring_shells = false;
     return c;
   }
 
@@ -174,6 +193,8 @@ struct EngineConfig {
     c.serialize_tuples = true;
     c.duplicate_headers = true;
     c.recycle_batches = false;  // legacy runtimes allocate per transfer
+    c.compile_pipelines = false;
+    c.reuse_ring_shells = false;
     return c;
   }
 };

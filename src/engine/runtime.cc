@@ -90,8 +90,12 @@ Status BriskRuntime::WireGraph(
                                 : plan.replication(e.consumer_op);
       for (int cr = 0; cr < consumers; ++cr) {
         const int cinst = plan.InstanceId(e.consumer_op, cr);
+        // Ring-shell reuse only matters (and is only safe to prefer)
+        // when the recycle queue is off — with recycling on, shells
+        // come back through the BatchPool path instead.
         channels_.push_back(std::make_unique<Channel>(
-            pinst, cinst, config_.queue_capacity));
+            pinst, cinst, config_.queue_capacity,
+            config_.reuse_ring_shells && !config_.recycle_batches));
         Channel* ch = channels_.back().get();
         tasks_[cinst]->AddInput(ch);
         route.channels.push_back(ch);

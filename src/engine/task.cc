@@ -52,6 +52,14 @@ Status Task::Prepare(const api::OperatorContext& ctx) {
 void Task::Bind(const StopSignals* signals, bool cooperative) {
   signals_ = signals;
   cooperative_ = cooperative;
+  // Compiled dispatch is resolved once per run: the bolt either
+  // carries a pipeline or it does not, and the legacy per-tuple
+  // overheads (serialization, duplicated headers, condition checks)
+  // are *modeled per tuple*, so any of them forces the row-wise path.
+  pipe_ = bolt_ ? bolt_->pipeline() : nullptr;
+  vec_ok_ = pipe_ != nullptr && config_.compile_pipelines &&
+            !config_.serialize_tuples && !config_.duplicate_headers &&
+            !config_.extra_condition_checks;
   source_done_ = false;
   finalized_ = false;
   finalizing_ = false;
@@ -157,6 +165,11 @@ void Task::EmitTo(uint16_t stream_id, Tuple t) {
   }
 }
 
+void Task::ConsumeSelected(JumboTuple* batch, const SelectionVector& sel) {
+  sel.ForEachSet(
+      [&](size_t i) { EmitTo(0, std::move(batch->tuples[i])); });
+}
+
 bool Task::PushEnvelope(Envelope&& env, Channel* channel) {
   // Migration pause: batches must survive the halt for the residual
   // sweep, so even the legacy mode switches to parking (spinning would
@@ -250,6 +263,12 @@ bool Task::FlushBuffer(int buffer_idx, Channel* channel, bool force) {
   if (config_.recycle_batches && channel->TryPopRecycled(&batch)) {
     ++stats_.batches_recycled;
     batch->Reset();  // consumer already Reset(); cheap belt-and-braces
+  } else if (channel->reuse_shells() &&
+             (batch = channel->TakeProducerShell()) != nullptr) {
+    // Ring-is-the-pool mode: the last push swapped the consumer's
+    // deposited shell out of the ring slot; reuse it here.
+    ++stats_.batches_recycled;
+    batch->Reset();
   } else {
     batch = std::make_unique<JumboTuple>();
   }
@@ -310,19 +329,36 @@ void Task::Consume(Envelope env, Channel* from) {
           static_cast<int64_t>(per_tuple_ns * tuples->size()));
     }
   }
+  // Count before executing: the compiled path may move tuples out of
+  // the batch (ConsumeSelected) and FlatMap stages redirect output to
+  // scratch, so size-after is not the ingress count.
+  const size_t n_in = tuples->size();
   const int64_t t0 = NowNs();
-  for (const Tuple& t : *tuples) {
-    if (config_.extra_condition_checks) LegacyPerTupleWork(t);
-    bolt_->Process(t, this);
+  if (vec_ok_ && env.batch->bytes.empty()) {
+    // Whole-batch dispatch through the bolt's compiled pipeline; this
+    // task is the PipelineSink, so survivors route through the same
+    // partition controller as interpreted emissions.
+    pipe_->RunBatch(env.batch.get(), this);
+    stats_.tuples_vec += n_in;
+  } else {
+    for (const Tuple& t : *tuples) {
+      if (config_.extra_condition_checks) LegacyPerTupleWork(t);
+      bolt_->Process(t, this);
+    }
   }
   stats_.busy_ns += static_cast<uint64_t>(NowNs() - t0);
-  stats_.tuples_in += tuples->size();
+  stats_.tuples_in += n_in;
   ++stats_.batches_in;
   if (config_.recycle_batches && from != nullptr) {
     // Hand the drained shell back to the producer instead of freeing
     // it here (which, under NUMA, would free remote-socket memory).
     env.batch->Reset();
     from->Recycle(std::move(env.batch));
+  } else if (from != nullptr && from->reuse_shells()) {
+    // Unpooled mode with ring reuse: stage the shell so the next pop
+    // deposits it into the slot it vacates.
+    env.batch->Reset();
+    from->ReturnShell(std::move(env.batch));
   }
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "api/operator.h"
+#include "api/pipeline.h"
 #include "api/topology.h"
 #include "common/relaxed_counter.h"
 #include "engine/channel.h"
@@ -60,6 +61,11 @@ struct TaskStats {
   RelaxedCounter backpressure_parks;
   /// Wall time spent inside operator Process()/NextBatch() calls, ns.
   RelaxedCounter busy_ns;
+  /// Tuples that entered through the compiled-pipeline batch path
+  /// (CompiledPipeline::RunBatch) instead of per-tuple Process. Equal
+  /// to tuples_in when the bolt runs fully vectorized; 0 when it runs
+  /// interpreted — the JobReport's execution-mode indicator.
+  RelaxedCounter tuples_vec;
 
   /// Member-wise accumulation (per-operator totals across migration
   /// epochs). Caller-thread-only, like every other mutation.
@@ -72,6 +78,7 @@ struct TaskStats {
     backpressure_spins += o.backpressure_spins;
     backpressure_parks += o.backpressure_parks;
     busy_ns += o.busy_ns;
+    tuples_vec += o.tuples_vec;
   }
 };
 
@@ -102,7 +109,7 @@ enum class PollResult {
 /// Single-threaded by construction: Run() or the owning pool worker is
 /// the only caller after start; all other methods are wiring performed
 /// before start.
-class Task : public api::OutputCollector {
+class Task : public api::OutputCollector, public api::PipelineSink {
  public:
   Task(int instance_id, int socket, EngineConfig config,
        const hw::NumaEmulator* numa)
@@ -192,6 +199,12 @@ class Task : public api::OutputCollector {
   void Emit(Tuple t) override { EmitTo(0, std::move(t)); }
   void EmitTo(uint16_t stream_id, Tuple t) override;
 
+  // PipelineSink (called by the bolt's CompiledPipeline at the end of
+  // RunBatch): routes each surviving tuple exactly as a Process-time
+  // Emit would, so compiled and interpreted execution share the whole
+  // partition-controller path (stats, grouping, batching).
+  void ConsumeSelected(JumboTuple* batch, const SelectionVector& sel) override;
+
  private:
   void RunSpout();
   void RunBolt();
@@ -230,6 +243,13 @@ class Task : public api::OutputCollector {
 
   std::unique_ptr<api::Spout> spout_;
   std::unique_ptr<api::Operator> bolt_;
+  /// Non-null when the bolt exposes a compiled pipeline (KernelBolt);
+  /// owned by the bolt. Set at Bind.
+  api::CompiledPipeline* pipe_ = nullptr;
+  /// Batch dispatch is legal: a pipeline exists, the config asks for
+  /// it, and no per-tuple legacy overhead is configured (those costs
+  /// are modeled per tuple, so they force the row-wise path).
+  bool vec_ok_ = false;
 
   std::vector<Channel*> inputs_;
   const std::vector<int>* instance_sockets_ = nullptr;

@@ -1,7 +1,9 @@
 #include "optimizer/fusion.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "api/pipeline.h"
 #include "common/logging.h"
 
 namespace brisk::opt {
@@ -28,55 +30,142 @@ class InlineCollector : public api::OutputCollector {
   api::OutputCollector* out_;
 };
 
-/// Two bolts executing back-to-back in one instance.
-class FusedBolt : public api::Operator {
+/// N member bolts executing back-to-back in one instance — the
+/// interpreted lowering of a fused chain. Used whenever at least one
+/// member is not kernel-backed (fully kernel-backed chains lower to
+/// api::KernelBolt instead).
+class FusedChainBolt : public api::Operator {
  public:
-  FusedBolt(std::unique_ptr<api::Operator> up,
-            std::unique_ptr<api::Operator> down)
-      : up_(std::move(up)), down_(std::move(down)) {}
+  explicit FusedChainBolt(
+      const std::vector<api::OperatorFactory>& factories) {
+    members_.reserve(factories.size());
+    for (const auto& f : factories) members_.push_back(f());
+  }
 
   Status Prepare(const api::OperatorContext& ctx) override {
-    BRISK_RETURN_NOT_OK(up_->Prepare(ctx));
-    return down_->Prepare(ctx);
+    for (auto& m : members_) BRISK_RETURN_NOT_OK(m->Prepare(ctx));
+    return Status::OK();
   }
 
   void Process(const Tuple& in, api::OutputCollector* out) override {
-    InlineCollector inline_out(down_.get(), out);
-    up_->Process(in, &inline_out);
+    ProcessFrom(0, in, out);
   }
 
   void Flush(api::OutputCollector* out) override {
-    InlineCollector inline_out(down_.get(), out);
-    up_->Flush(&inline_out);
-    down_->Flush(out);
+    // Member i's final emissions still travel through members i+1..n —
+    // the order a pairwise FusedBolt flushed in, generalized.
+    for (size_t i = 0; i < members_.size(); ++i) {
+      StepCollector step(this, i + 1, out);
+      members_[i]->Flush(&step);
+    }
+  }
+
+  std::vector<api::KeyedStateEntry> ExportKeyedState() override {
+    std::vector<api::KeyedStateEntry> all;
+    for (auto& m : members_) {
+      auto part = m->ExportKeyedState();
+      for (auto& e : part) all.push_back(std::move(e));
+    }
+    return all;
+  }
+
+  void ImportKeyedState(std::vector<api::KeyedStateEntry> entries) override {
+    // Every member sees every entry; stateless members ignore them. At
+    // most one chain member is stateful (a second aggregate would need
+    // a fields-grouped input, which fusion legality excludes), so no
+    // member ever casts another's state.
+    for (size_t i = 0; i + 1 < members_.size(); ++i) {
+      members_[i]->ImportKeyedState(entries);
+    }
+    members_.back()->ImportKeyedState(std::move(entries));
   }
 
  private:
-  std::unique_ptr<api::Operator> up_;
-  std::unique_ptr<api::Operator> down_;
+  /// Forwards emissions of member `next-1` into member `next` (or the
+  /// real collector past the end). Intermediate named streams collapse
+  /// onto the chain, as with InlineCollector.
+  class StepCollector : public api::OutputCollector {
+   public:
+    StepCollector(FusedChainBolt* chain, size_t next,
+                  api::OutputCollector* out)
+        : chain_(chain), next_(next), out_(out) {}
+
+    void Emit(Tuple t) override {
+      if (next_ >= chain_->members_.size()) {
+        out_->Emit(std::move(t));
+      } else {
+        chain_->ProcessFrom(next_, t, out_);
+      }
+    }
+    void EmitTo(uint16_t stream_id, Tuple t) override {
+      if (next_ >= chain_->members_.size()) {
+        out_->EmitTo(stream_id, std::move(t));
+      } else {
+        chain_->ProcessFrom(next_, t, out_);
+      }
+    }
+
+   private:
+    FusedChainBolt* chain_;
+    size_t next_;
+    api::OutputCollector* out_;
+  };
+
+  void ProcessFrom(size_t idx, const Tuple& t, api::OutputCollector* out) {
+    StepCollector step(this, idx + 1, out);
+    members_[idx]->Process(t, &step);
+  }
+
+  std::vector<std::unique_ptr<api::Operator>> members_;
 };
 
-/// A spout fused with its first bolt.
-class FusedSpout : public api::Spout {
+/// A spout fused with a chain of bolts (spout-rooted chains always run
+/// interpreted: the spout produces row-wise, so there is no batch to
+/// vectorize over before the first queue).
+class FusedChainSpout : public api::Spout {
  public:
-  FusedSpout(std::unique_ptr<api::Spout> up,
-             std::unique_ptr<api::Operator> down)
-      : up_(std::move(up)), down_(std::move(down)) {}
+  FusedChainSpout(const api::SpoutFactory& head,
+                  const std::vector<api::OperatorFactory>& bolts)
+      : head_(head()),
+        chain_(std::make_unique<FusedChainBolt>(bolts)) {}
 
   Status Prepare(const api::OperatorContext& ctx) override {
-    BRISK_RETURN_NOT_OK(up_->Prepare(ctx));
-    return down_->Prepare(ctx);
+    BRISK_RETURN_NOT_OK(head_->Prepare(ctx));
+    return chain_->Prepare(ctx);
   }
 
   size_t NextBatch(size_t max_tuples, api::OutputCollector* out) override {
-    InlineCollector inline_out(down_.get(), out);
-    return up_->NextBatch(max_tuples, &inline_out);
+    InlineCollector inline_out(chain_.get(), out);
+    return head_->NextBatch(max_tuples, &inline_out);
   }
 
  private:
-  std::unique_ptr<api::Spout> up_;
-  std::unique_ptr<api::Operator> down_;
+  std::unique_ptr<api::Spout> head_;
+  std::unique_ptr<FusedChainBolt> chain_;
 };
+
+/// Logical members a vertex stands for ({itself} when not fused).
+std::vector<std::string> MembersOf(const api::OperatorDecl& op) {
+  if (!op.chain_members.empty()) return op.chain_members;
+  return {op.name};
+}
+
+/// Member bolt factories of a vertex, in chain order.
+std::vector<api::OperatorFactory> BoltsOf(const api::OperatorDecl& op) {
+  if (!op.chain_members.empty()) return op.chain_bolts;
+  if (op.is_spout) return {};
+  return {op.bolt_factory};
+}
+
+/// Re-declares metadata a rebuild would otherwise drop (kernel chains
+/// survive greedy rounds through this).
+void CarryDeclMetadata(api::TopologyBuilder::BoltDeclarer decl,
+                       const api::OperatorDecl& op) {
+  if (!op.kernels.empty()) decl.WithKernels(op.kernels);
+  if (!op.chain_members.empty()) {
+    decl.WithChain(op.chain_members, op.chain_bolts);
+  }
+}
 
 }  // namespace
 
@@ -97,7 +186,8 @@ std::vector<FusionCandidate> FindFusionCandidates(const api::Topology& topo) {
 
 StatusOr<FusedApp> FuseOperators(const api::Topology& topo,
                                  const model::ProfileSet& profiles,
-                                 const FusionCandidate& candidate) {
+                                 const FusionCandidate& candidate,
+                                 const FusionOptions& fusion) {
   const int p = candidate.producer_op;
   const int c = candidate.consumer_op;
   if (p < 0 || p >= topo.num_operators() || c < 0 ||
@@ -117,6 +207,23 @@ StatusOr<FusedApp> FuseOperators(const api::Topology& topo,
   const auto& prod = topo.op(p);
   const auto& cons = topo.op(c);
   const std::string fused_name = prod.name + "+" + cons.name;
+
+  // Chain composition: members flatten (fusing an already-fused vertex
+  // extends its chain instead of nesting wrappers).
+  std::vector<std::string> members = MembersOf(prod);
+  for (auto& m : MembersOf(cons)) members.push_back(std::move(m));
+  std::vector<api::OperatorFactory> member_bolts = BoltsOf(prod);
+  for (auto& f : BoltsOf(cons)) member_bolts.push_back(std::move(f));
+
+  // The chain compiles when it is consumer-side and every member is
+  // kernel-backed: the kernel sequences concatenate into one pipeline.
+  const bool compiled =
+      !prod.is_spout && !prod.kernels.empty() && !cons.kernels.empty();
+  std::vector<api::KernelDesc> fused_kernels;
+  if (compiled) {
+    fused_kernels = prod.kernels;
+    for (const auto& k : cons.kernels) fused_kernels.push_back(k);
+  }
 
   // Map old op id -> new operator name (the pair maps to fused_name).
   auto new_name = [&](int op) -> std::string {
@@ -165,31 +272,36 @@ StatusOr<FusedApp> FuseOperators(const api::Topology& topo,
     if (op.id == c) continue;
     if (op.id == p) {
       if (prod.is_spout) {
-        auto spout_factory = prod.spout_factory;
-        auto bolt_factory = cons.bolt_factory;
+        api::SpoutFactory head =
+            prod.chain_spout ? prod.chain_spout : prod.spout_factory;
         auto decl = b2.AddSpout(
             fused_name,
-            [spout_factory, bolt_factory] {
-              return std::make_unique<FusedSpout>(spout_factory(),
-                                                  bolt_factory());
+            [head, member_bolts] {
+              return std::make_unique<FusedChainSpout>(head, member_bolts);
             },
             prod.base_parallelism);
         for (size_t s = 1; s < cons.output_streams.size(); ++s) {
           decl.DeclareStream(cons.output_streams[s]);
         }
+        decl.WithChain(members, head, member_bolts);
       } else {
-        auto up_factory = prod.bolt_factory;
-        auto down_factory = cons.bolt_factory;
-        auto decl = b2.AddBolt(
-            fused_name,
-            [up_factory, down_factory] {
-              return std::make_unique<FusedBolt>(up_factory(),
-                                                 down_factory());
-            },
-            prod.base_parallelism);
+        api::OperatorFactory factory;
+        if (compiled) {
+          factory = [ks = fused_kernels]() -> std::unique_ptr<api::Operator> {
+            return std::make_unique<api::KernelBolt>(ks);
+          };
+        } else {
+          factory = [member_bolts]() -> std::unique_ptr<api::Operator> {
+            return std::make_unique<FusedChainBolt>(member_bolts);
+          };
+        }
+        auto decl = b2.AddBolt(fused_name, std::move(factory),
+                               prod.base_parallelism);
         for (size_t s = 1; s < cons.output_streams.size(); ++s) {
           decl.DeclareStream(cons.output_streams[s]);
         }
+        decl.WithChain(members, member_bolts);
+        if (compiled) decl.WithKernels(fused_kernels);
         declare_subs(decl, p);
       }
       continue;
@@ -200,11 +312,15 @@ StatusOr<FusedApp> FuseOperators(const api::Topology& topo,
       for (size_t s = 1; s < op.output_streams.size(); ++s) {
         decl.DeclareStream(op.output_streams[s]);
       }
+      if (!op.chain_members.empty()) {
+        decl.WithChain(op.chain_members, op.chain_spout, op.chain_bolts);
+      }
     } else {
       auto decl = b2.AddBolt(op.name, op.bolt_factory, op.base_parallelism);
       for (size_t s = 1; s < op.output_streams.size(); ++s) {
         decl.DeclareStream(op.output_streams[s]);
       }
+      CarryDeclMetadata(decl, op);
       // Consumers of the fused pair re-point edges from c to the fused
       // name; declare_subs handles the renaming via new_name().
       declare_subs(decl, op.id);
@@ -214,12 +330,14 @@ StatusOr<FusedApp> FuseOperators(const api::Topology& topo,
   BRISK_ASSIGN_OR_RETURN(api::Topology fused, std::move(b2).Build());
 
   // Derived profile: per input tuple the fused instance runs the
-  // producer once and the consumer sel(p) times.
+  // producer once and the consumer sel(p) times. A compiled chain's
+  // combined T_e shrinks by the measured vectorization discount.
   BRISK_ASSIGN_OR_RETURN(model::OperatorProfile pp, profiles.Get(prod.name));
   BRISK_ASSIGN_OR_RETURN(model::OperatorProfile cp, profiles.Get(cons.name));
   const double sel_p = pp.selectivity.empty() ? 1.0 : pp.selectivity[0];
   model::OperatorProfile fused_profile;
   fused_profile.te_cycles = pp.te_cycles + sel_p * cp.te_cycles;
+  if (compiled) fused_profile.te_cycles *= fusion.compiled_te_discount;
   fused_profile.m_bytes = pp.m_bytes + sel_p * cp.m_bytes;
   fused_profile.output_bytes = cp.output_bytes;
   fused_profile.selectivity.clear();
@@ -229,6 +347,8 @@ StatusOr<FusedApp> FuseOperators(const api::Topology& topo,
 
   FusedApp result;
   result.fused_name = fused_name;
+  result.members = std::move(members);
+  result.compiled = compiled;
   for (const auto& [name, profile] : profiles.all()) {
     if (name == prod.name || name == cons.name) continue;
     result.profiles.Set(name, profile);
@@ -241,7 +361,7 @@ StatusOr<FusedApp> FuseOperators(const api::Topology& topo,
 StatusOr<AutoFuseResult> AutoFuse(const api::Topology& topo,
                                   const model::ProfileSet& profiles,
                                   const hw::MachineSpec& machine,
-                                  RlasOptions options) {
+                                  RlasOptions options, FusionOptions fusion) {
   AutoFuseResult result;
   result.topology = std::make_shared<api::Topology>(topo);
   result.profiles = profiles;
@@ -258,9 +378,10 @@ StatusOr<AutoFuseResult> AutoFuse(const api::Topology& topo,
     double best_tput = result.fused_throughput;
     std::shared_ptr<const api::Topology> best_topo;
     model::ProfileSet best_profiles;
+    bool best_compiled = false;
     for (const auto& candidate : candidates) {
-      auto fused =
-          FuseOperators(*result.topology, result.profiles, candidate);
+      auto fused = FuseOperators(*result.topology, result.profiles,
+                                 candidate, fusion);
       if (!fused.ok()) continue;
       RlasOptimizer opt(&machine, &fused->profiles, options);
       auto plan = opt.Optimize(*fused->topology);
@@ -269,6 +390,7 @@ StatusOr<AutoFuseResult> AutoFuse(const api::Topology& topo,
         best_tput = plan->model.throughput;
         best_topo = fused->topology;
         best_profiles = fused->profiles;
+        best_compiled = fused->compiled;
       }
     }
     if (!best_topo) break;
@@ -276,6 +398,7 @@ StatusOr<AutoFuseResult> AutoFuse(const api::Topology& topo,
     result.profiles = std::move(best_profiles);
     result.fused_throughput = best_tput;
     ++result.fusions_applied;
+    if (best_compiled) ++result.compiled_chains;
   }
   return result;
 }

@@ -5,6 +5,15 @@
 // pair executes back-to-back in one instance) at the price of a larger
 // combined T_e per instance, i.e. coarser pipeline parallelism.
 //
+// Fusion is N-ary: a fused vertex is a *chain* — the ordered member
+// operators are recorded on the OperatorDecl (chain_members), so the
+// greedy loop flattens chains instead of nesting pairwise wrappers.
+// When every member of a chain is kernel-backed (OperatorDecl::
+// kernels, see api/kernels.h) the chain lowers to one compiled
+// pipeline (api::KernelBolt) that the engine executes batch at a
+// time; otherwise the chain runs interpreted, member Process calls
+// back-to-back in one instance.
+//
 // Fusion here is plan-level and semantics-preserving: it is only legal
 // when the consumer takes its sole input from the producer over a
 // shuffle edge (fields grouping pins keys to replicas; fusing would
@@ -33,20 +42,38 @@ struct FusionCandidate {
 /// exactly one incoming edge, and the edge is shuffle-grouped.
 std::vector<FusionCandidate> FindFusionCandidates(const api::Topology& topo);
 
+/// Cost-model knobs for fusion.
+struct FusionOptions {
+  /// T_e multiplier applied to a chain that lowers to a compiled
+  /// pipeline (all members kernel-backed, consumer-side). The default
+  /// 1.0 models plain interpreted fusion; pass
+  /// kMeasuredCompiledTeDiscount to model the vectorized win.
+  double compiled_te_discount = 1.0;
+};
+
+/// Compiled-over-interpreted per-tuple cost ratio measured by
+/// bench_pipeline.cc on the reference host (see BENCH_pipeline.json:
+/// compiled RunBatch vs row-wise RunRow over the same filter+map
+/// chain). Model-level benches use this to price compiled chains.
+inline constexpr double kMeasuredCompiledTeDiscount = 0.35;
+
 /// A topology with one fusion applied, plus matching profiles.
 struct FusedApp {
   std::shared_ptr<const api::Topology> topology;
   model::ProfileSet profiles;
-  std::string fused_name;  ///< "<producer>+<consumer>"
+  std::string fused_name;  ///< members joined with '+'
+  std::vector<std::string> members;  ///< chain members, in order
+  bool compiled = false;  ///< chain lowered to a compiled pipeline
 };
 
-/// Rewrites `topo` with `candidate` fused into a single operator whose
-/// factory chains the two Process functions in one instance, and
-/// derives its profile: T_e' = T_e(p) + sel(p)·T_e(c), selectivity' =
+/// Rewrites `topo` with `candidate` fused into a single chain vertex
+/// and derives its profile: T_e' = T_e(p) + sel(p)·T_e(c) (times the
+/// compiled discount when the chain compiles), selectivity' =
 /// sel(p)·sel(c), outputs = consumer's outputs.
 StatusOr<FusedApp> FuseOperators(const api::Topology& topo,
                                  const model::ProfileSet& profiles,
-                                 const FusionCandidate& candidate);
+                                 const FusionCandidate& candidate,
+                                 const FusionOptions& fusion = {});
 
 /// Greedy auto-fusion: repeatedly applies the candidate whose fused
 /// plan (RLAS-optimized on `machine`) models the highest throughput,
@@ -55,6 +82,7 @@ struct AutoFuseResult {
   std::shared_ptr<const api::Topology> topology;  ///< final topology
   model::ProfileSet profiles;
   int fusions_applied = 0;
+  int compiled_chains = 0;  ///< fused vertices that lowered to kernels
   double baseline_throughput = 0.0;  ///< RLAS optimum, unfused
   double fused_throughput = 0.0;     ///< RLAS optimum, final topology
 };
@@ -62,6 +90,7 @@ struct AutoFuseResult {
 StatusOr<AutoFuseResult> AutoFuse(const api::Topology& topo,
                                   const model::ProfileSet& profiles,
                                   const hw::MachineSpec& machine,
-                                  RlasOptions options = {});
+                                  RlasOptions options = {},
+                                  FusionOptions fusion = {});
 
 }  // namespace brisk::opt

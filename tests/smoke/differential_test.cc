@@ -8,7 +8,10 @@
 // exact equality.
 //
 // The matrix: {kThreadPerTask, kWorkerPool} × {Brisk, Storm-like},
-// word_count and spike_detection, identical plans, one seed.
+// word_count and spike_detection, identical plans, one seed. A fifth
+// arm disables compiled pipelines on the native config, so the batch
+// (RunBatch) and row-wise (Process) executions of the same kernel
+// operators are held to the same sink multiset as everything else.
 #include <algorithm>
 #include <chrono>
 #include <memory>
@@ -42,12 +45,19 @@ struct Cell {
   const char* name;
 };
 
+EngineConfig BriskRowWise() {
+  EngineConfig c = EngineConfig::Brisk();
+  c.compile_pipelines = false;  // force interpreted execution
+  return c;
+}
+
 std::vector<Cell> Matrix() {
   return {
       {ExecutorKind::kWorkerPool, EngineConfig::Brisk(), "pool/brisk"},
       {ExecutorKind::kThreadPerTask, EngineConfig::Brisk(), "tpt/brisk"},
       {ExecutorKind::kWorkerPool, EngineConfig::StormLike(), "pool/storm"},
       {ExecutorKind::kThreadPerTask, EngineConfig::StormLike(), "tpt/storm"},
+      {ExecutorKind::kWorkerPool, BriskRowWise(), "pool/brisk/rowwise"},
   };
 }
 
