@@ -77,6 +77,17 @@ class LambdaBolt final : public api::Operator {
     }
   }
 
+  std::vector<api::CheckpointEntry> SnapshotKeyedState() override {
+    if (!body_.hooks.snapshot_state) return {};
+    return body_.hooks.snapshot_state();
+  }
+
+  void RestoreKeyedState(std::vector<api::CheckpointEntry> entries) override {
+    if (body_.hooks.restore_state) {
+      body_.hooks.restore_state(std::move(entries));
+    }
+  }
+
  private:
   ReplicaFactory factory_;
   ReplicaBody body_;

@@ -42,6 +42,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -130,6 +131,11 @@ using SinkFn = std::function<void(const Tuple& in)>;
 struct StateHooks {
   std::function<std::vector<api::KeyedStateEntry>()> export_state;
   std::function<void(std::vector<api::KeyedStateEntry>)> import_state;
+  /// Checkpoint hooks (api::Operator::{Snapshot,Restore}KeyedState
+  /// forwarded to lambda land). Snapshot copies without clearing;
+  /// Restore installs into a fresh replica during crash recovery.
+  std::function<std::vector<api::CheckpointEntry>()> snapshot_state;
+  std::function<void(std::vector<api::CheckpointEntry>)> restore_state;
 };
 
 /// One prepared replica: the per-tuple body plus (optional) migration
@@ -282,6 +288,38 @@ class KeyedStream {
                   std::move(*std::static_pointer_cast<State>(e.state));
             }
           };
+      // Checkpoint hooks come for free when State is arithmetic (one
+      // Field round-trips it exactly); richer States stay
+      // non-checkpointable in the lambda form — use the kernel
+      // Aggregate overload with an explicit codec instead.
+      if constexpr (std::is_arithmetic_v<State>) {
+        body.hooks.snapshot_state = [states]() {
+          std::vector<api::CheckpointEntry> out;
+          out.reserve(states->size());
+          for (const auto& [k, v] : *states) {
+            Tuple t;
+            if constexpr (std::is_floating_point_v<State>) {
+              t.fields.emplace_back(static_cast<double>(v));
+            } else {
+              t.fields.emplace_back(static_cast<int64_t>(v));
+            }
+            out.push_back({detail::FieldOf(k), std::move(t)});
+          }
+          return out;
+        };
+        body.hooks.restore_state =
+            [states](std::vector<api::CheckpointEntry> entries) {
+              for (auto& e : entries) {
+                if constexpr (std::is_floating_point_v<State>) {
+                  (*states)[detail::KeyOf(e.key)] =
+                      static_cast<State>(e.state.fields[0].AsDouble());
+                } else {
+                  (*states)[detail::KeyOf(e.key)] =
+                      static_cast<State>(e.state.fields[0].AsInt());
+                }
+              }
+            };
+      }
       return body;
     };
     return base_.Attach(name, std::move(factory),
@@ -301,6 +339,24 @@ class KeyedStream {
         name,
         api::AggregateOf<State>(key_field_, std::move(init), std::move(fn),
                                 1.0, name),
+        api::GroupingType::kFields, key_field_);
+  }
+
+  /// Kernel aggregate with an explicit checkpoint codec for States a
+  /// single arithmetic Field cannot carry (windows, sketches). The
+  /// codec must round-trip the state bit-exactly — recovery differen-
+  /// tial tests hold restored replicas to never-crashed behavior.
+  template <typename State>
+  Stream Aggregate(
+      const std::string& name, State init,
+      std::function<void(State&, const Tuple&, api::RowEmitter&)> fn,
+      std::function<Tuple(const State&)> encode,
+      std::function<State(const Tuple&)> decode) const {
+    return base_.AttachKernel(
+        name,
+        api::AggregateOf<State>(key_field_, std::move(init), std::move(fn),
+                                std::move(encode), std::move(decode), 1.0,
+                                name),
         api::GroupingType::kFields, key_field_);
   }
 

@@ -55,6 +55,18 @@ std::string JobReport::ToString() const {
        << " moves, " << m.starts << " starts, " << m.stops << " stops) "
        << (m.applied ? "applied" : "FAILED: " + m.error) << "\n";
   }
+  if (supervision.checkpoints > 0 || supervision.failures_detected > 0) {
+    os << "fault tolerance: " << supervision.checkpoints << " checkpoints ("
+       << supervision.checkpoint_pause_s << " s paused), "
+       << supervision.failures_detected << " failures detected, "
+       << supervision.restarts << " restarts, "
+       << supervision.replayed_tuples << " source tuples replayed";
+    if (!supervision.final_status.ok()) {
+      os << " — " << supervision.final_status.ToString();
+    }
+    os << "\n";
+  }
+  if (!drain_status.ok()) os << drain_status.ToString() << "\n";
   return os.str();
 }
 
@@ -130,6 +142,28 @@ Job& Job::WithTelemetry(std::shared_ptr<SinkTelemetry> telemetry) {
 
 Job& Job::WithSeed(uint64_t seed) {
   config_.seed = seed;
+  return *this;
+}
+
+Job& Job::WithDrainTimeout(double seconds) {
+  config_.drain_timeout_s = seconds;
+  return *this;
+}
+
+Job& Job::WithFaults(engine::FaultPlan faults) {
+  config_.faults = std::move(faults);
+  return *this;
+}
+
+Job& Job::WithCheckpointing(double interval_s) {
+  supervision_enabled_ = true;
+  supervisor_options_.checkpoint_interval_s = interval_s;
+  return *this;
+}
+
+Job& Job::WithSupervision(engine::SupervisorOptions options) {
+  supervision_enabled_ = true;
+  supervisor_options_ = options;
   return *this;
 }
 
@@ -213,6 +247,14 @@ StatusOr<std::unique_ptr<Job::Deployment>> Job::Deploy() {
   // telemetry; reset so the report covers only the live run.
   if (deployment->telemetry_) deployment->telemetry_->Reset();
   BRISK_RETURN_NOT_OK(deployment->runtime_->Start());
+
+  if (supervision_enabled_) {
+    // Start supervision before the autopilot so the initial checkpoint
+    // exists before any live migration can fail.
+    deployment->supervisor_ = std::make_unique<engine::Supervisor>(
+        deployment->runtime_.get(), supervisor_options_);
+    BRISK_RETURN_NOT_OK(deployment->supervisor_->Start());
+  }
 
   if (autopilot_enabled_) {
     opt::DynamicOptions dyn;
@@ -367,8 +409,14 @@ const JobReport& Job::Deployment::Stop() {
   StopAutopilot();
   if (stopped_) return report_;
   stopped_ = true;
+  if (supervisor_) report_.supervision = supervisor_->Stop();
   report_.stats = runtime_->Stop();
   report_.migrations = std::move(autopilot_records_);
+  if (report_.stats.drain_timed_out) {
+    report_.drain_status = Status::DeadlineExceeded(
+        "a quiesce drain ran past the configured drain timeout; the "
+        "residual sweep delivered the backlog");
+  }
   if (telemetry_) {
     report_.sink_tuples = telemetry_->count();
     report_.sink_latency_ns = telemetry_->LatencySnapshot();

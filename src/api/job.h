@@ -30,8 +30,10 @@
 #include "common/status.h"
 #include "common/telemetry.h"
 #include "engine/config.h"
+#include "engine/fault.h"
 #include "engine/observed_profiles.h"
 #include "engine/runtime.h"
+#include "engine/supervisor.h"
 #include "hardware/machine_spec.h"
 #include "hardware/numa_emulator.h"
 #include "model/execution_plan.h"
@@ -82,6 +84,14 @@ struct JobReport {
   engine::RunStats stats;      ///< engine-side counters
   uint64_t sink_tuples = 0;    ///< observed at the sink (§2.2's counter)
   Histogram sink_latency_ns;   ///< sampled end-to-end latency
+
+  /// OK unless some quiesce drain ran past the configured timeout
+  /// (then DeadlineExceeded, mirroring RunStats::drain_timed_out).
+  Status drain_status;
+  /// Checkpoint/recovery counters (all zero without WithSupervision /
+  /// WithCheckpointing). final_status is Unavailable when the restart
+  /// circuit breaker opened.
+  engine::SupervisionReport supervision;
 
   /// Live migrations the autopilot applied (empty without
   /// WithAutopilot); `plan` remains the *initial* plan — the plan the
@@ -167,6 +177,28 @@ class Job {
   /// runs of the same seeded job produce the same tuple population.
   Job& WithSeed(uint64_t seed);
 
+  /// Budget for every quiesce drain (graceful stop, migration pause,
+  /// checkpoint pause). A drain that runs past it is surfaced as
+  /// RunStats::drain_timed_out and JobReport::drain_status =
+  /// DeadlineExceeded — the job still completes via the residual
+  /// sweep, but the timeout is a reportable soft failure.
+  Job& WithDrainTimeout(double seconds);
+
+  /// Deterministic fault injection (engine/fault.h): crash or stall a
+  /// replica after K tuples, wedge a channel push, fail a migration
+  /// mid-protocol. Combined with WithSeed, every fault fires at the
+  /// same tuple on every run.
+  Job& WithFaults(engine::FaultPlan faults);
+
+  /// Fault tolerance: supervise the deployed job with periodic
+  /// checkpoints every `interval_s` (plus the initial one) and
+  /// automatic crash/stall recovery with default SupervisorOptions.
+  Job& WithCheckpointing(double interval_s);
+
+  /// Fault tolerance with explicit knobs (heartbeat cadence, restart
+  /// budget, backoff).
+  Job& WithSupervision(engine::SupervisorOptions options);
+
   /// Autopilot: closes the paper's §5.3 loop on the deployed job. A
   /// controller thread wakes every `interval_s`, derives observed
   /// operator profiles from the engine's counters over the last window
@@ -200,6 +232,11 @@ class Job {
 
     engine::BriskRuntime& runtime() { return *runtime_; }
 
+    /// The fault-tolerance supervisor, or nullptr when the job was not
+    /// configured with WithSupervision/WithCheckpointing. Useful for
+    /// polling recovery progress (Supervisor::Snapshot).
+    engine::Supervisor* supervisor() { return supervisor_.get(); }
+
     /// Applied-migration count so far (racy read; exact after Stop).
     int migrations_applied() const {
       return runtime_ ? runtime_->epoch() : 0;
@@ -223,6 +260,7 @@ class Job {
     std::shared_ptr<SinkTelemetry> telemetry_;
     std::unique_ptr<hw::NumaEmulator> numa_;
     std::unique_ptr<engine::BriskRuntime> runtime_;
+    std::unique_ptr<engine::Supervisor> supervisor_;
     bool stopped_ = false;
     JobReport report_;
 
@@ -267,6 +305,8 @@ class Job {
   double autopilot_interval_s_ = 0.5;
   /// Explicit autopilot policy; unset = inherit the job's RLAS options.
   std::optional<opt::DynamicOptions> autopilot_options_;
+  bool supervision_enabled_ = false;
+  engine::SupervisorOptions supervisor_options_;
 };
 
 }  // namespace brisk

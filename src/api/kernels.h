@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -74,6 +75,14 @@ class AggregateExec {
   /// export clears the local state.
   virtual std::vector<KeyedStateEntry> ExportKeyedState() = 0;
   virtual void ImportKeyedState(std::vector<KeyedStateEntry> entries) = 0;
+  /// Checkpoint hooks, mirroring api::Operator's contract: Snapshot
+  /// copies state without clearing it, Restore installs entries into a
+  /// fresh replica. Defaults make a stage non-checkpointable (state is
+  /// rebuilt only through source replay).
+  virtual std::vector<CheckpointEntry> SnapshotKeyedState() { return {}; }
+  virtual void RestoreKeyedState(std::vector<CheckpointEntry> entries) {
+    (void)entries;
+  }
 };
 
 /// One pipeline stage. `kind` picks which members are meaningful:
@@ -136,9 +145,26 @@ KernelDesc MapNumConst(size_t col, NumOp op, int64_t literal);
 template <typename State>
 class TypedAggregate final : public AggregateExec {
  public:
+  /// Encodes one State value as a serializable Tuple (and back) for
+  /// checkpoints. Arithmetic States get a codec derived automatically;
+  /// richer States pass one explicitly or stay non-checkpointable.
+  using StateEncoder = std::function<Tuple(const State&)>;
+  using StateDecoder = std::function<State(const Tuple&)>;
+
   TypedAggregate(size_t key_field, State init,
                  std::function<void(State&, const Tuple&, RowEmitter&)> fn)
-      : key_field_(key_field), init_(std::move(init)), fn_(std::move(fn)) {}
+      : key_field_(key_field), init_(std::move(init)), fn_(std::move(fn)) {
+    InstallDefaultCodec();
+  }
+
+  TypedAggregate(size_t key_field, State init,
+                 std::function<void(State&, const Tuple&, RowEmitter&)> fn,
+                 StateEncoder encode, StateDecoder decode)
+      : key_field_(key_field),
+        init_(std::move(init)),
+        fn_(std::move(fn)),
+        encode_(std::move(encode)),
+        decode_(std::move(decode)) {}
 
   void UpdateRow(const Tuple& in, RowEmitter& out) override {
     auto [it, fresh] =
@@ -165,10 +191,50 @@ class TypedAggregate final : public AggregateExec {
     }
   }
 
+  std::vector<CheckpointEntry> SnapshotKeyedState() override {
+    std::vector<CheckpointEntry> out;
+    if (!encode_) return out;
+    out.reserve(states_.size());
+    for (const auto& [k, v] : states_) {
+      out.push_back({detail::FieldOf(k), encode_(v)});
+    }
+    return out;
+  }
+
+  void RestoreKeyedState(std::vector<CheckpointEntry> entries) override {
+    if (!decode_) return;
+    for (auto& e : entries) {
+      states_[detail::KeyOf(e.key)] = decode_(e.state);
+    }
+  }
+
  private:
+  void InstallDefaultCodec() {
+    if constexpr (std::is_arithmetic_v<State>) {
+      encode_ = [](const State& s) {
+        Tuple t;
+        if constexpr (std::is_floating_point_v<State>) {
+          t.fields.emplace_back(static_cast<double>(s));
+        } else {
+          t.fields.emplace_back(static_cast<int64_t>(s));
+        }
+        return t;
+      };
+      decode_ = [](const Tuple& t) {
+        if constexpr (std::is_floating_point_v<State>) {
+          return static_cast<State>(t.fields[0].AsDouble());
+        } else {
+          return static_cast<State>(t.fields[0].AsInt());
+        }
+      };
+    }
+  }
+
   size_t key_field_;
   State init_;
   std::function<void(State&, const Tuple&, RowEmitter&)> fn_;
+  StateEncoder encode_;
+  StateDecoder decode_;
   std::unordered_map<std::string, State> states_;
 };
 
@@ -185,6 +251,31 @@ KernelDesc AggregateOf(
   d.make_aggregate = [key_field, init = std::move(init),
                       fn = std::move(fn)]() -> std::unique_ptr<AggregateExec> {
     return std::make_unique<TypedAggregate<State>>(key_field, init, fn);
+  };
+  return d;
+}
+
+/// AggregateOf with an explicit checkpoint codec, for States richer
+/// than a single arithmetic value (windows, sketches): `encode` must
+/// capture the state bit-exactly — recovery asserts restored replicas
+/// behave identically to never-crashed ones.
+template <typename State>
+KernelDesc AggregateOf(
+    size_t key_field, State init,
+    std::function<void(State&, const Tuple&, RowEmitter&)> fn,
+    std::function<Tuple(const State&)> encode,
+    std::function<State(const Tuple&)> decode, double selectivity_hint = 1.0,
+    std::string debug = "aggregate") {
+  KernelDesc d;
+  d.kind = KernelKind::kAggregate;
+  d.debug = std::move(debug);
+  d.selectivity_hint = selectivity_hint;
+  d.key_field = static_cast<int>(key_field);
+  d.make_aggregate = [key_field, init = std::move(init), fn = std::move(fn),
+                      encode = std::move(encode), decode = std::move(decode)]()
+      -> std::unique_ptr<AggregateExec> {
+    return std::make_unique<TypedAggregate<State>>(key_field, init, fn, encode,
+                                                   decode);
   };
   return d;
 }

@@ -93,6 +93,17 @@ struct KeyedStateEntry {
   std::shared_ptr<void> state;
 };
 
+/// One keyed-state entry captured for a checkpoint. Unlike
+/// KeyedStateEntry this is a value snapshot, not a handle hand-off: the
+/// state is encoded as a plain Tuple so it survives serialization
+/// (common/serde) and the operator keeps running untouched after the
+/// capture. The key Field re-buckets the entry on restore exactly like
+/// a live re-partition does.
+struct CheckpointEntry {
+  Field key;
+  Tuple state;
+};
+
 class CompiledPipeline;
 
 /// A continuously running stream operator ("bolt").
@@ -141,6 +152,22 @@ class Operator {
   virtual void ImportKeyedState(std::vector<KeyedStateEntry> entries) {
     (void)entries;
   }
+
+  // Checkpoint hooks. Snapshot runs while the job is quiesced (same
+  // no-live-thread guarantee as Export/Import) but must NOT disturb the
+  // replica's state — the job resumes from it afterwards. Restore runs
+  // on a freshly Prepared replica during crash recovery and replaces
+  // its (empty) keyed state. A stateful operator that implements
+  // neither checkpoints as stateless: recovery then rebuilds its state
+  // only through source replay.
+
+  /// Copies this replica's per-key state into serializable entries.
+  virtual std::vector<CheckpointEntry> SnapshotKeyedState() { return {}; }
+
+  /// Installs entries re-bucketed to this replica from a checkpoint.
+  virtual void RestoreKeyedState(std::vector<CheckpointEntry> entries) {
+    (void)entries;
+  }
 };
 
 /// A stream source. NextBatch is the pull interface the engine uses;
@@ -158,6 +185,26 @@ class Spout {
   /// Produces up to `max_tuples` tuples. Returns the number produced;
   /// returning 0 signals a bounded source is exhausted.
   virtual size_t NextBatch(size_t max_tuples, OutputCollector* out) = 0;
+
+  // Replay hooks for fault tolerance. A replayable source reports how
+  // many tuples it has produced (Position) and can rewind to an earlier
+  // position after a crash, re-producing the identical tuple sequence
+  // from there (at-least-once delivery: tuples between the checkpointed
+  // position and the crash are emitted twice).
+
+  /// Whether this source supports Position/Rewind replay.
+  virtual bool Replayable() const { return false; }
+
+  /// Number of tuples produced so far by this replica.
+  virtual uint64_t Position() const { return 0; }
+
+  /// Rewinds to `position` tuples produced. Returns false when this
+  /// source cannot replay (the default) — recovery then resumes the
+  /// source from wherever it is, accepting gap-loss on that stream.
+  virtual bool Rewind(uint64_t position) {
+    (void)position;
+    return false;
+  }
 };
 
 using OperatorFactory = std::function<std::unique_ptr<Operator>()>;

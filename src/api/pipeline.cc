@@ -205,6 +205,16 @@ void CompiledPipeline::ImportKeyedState(std::vector<KeyedStateEntry> entries) {
   aggs_[agg_stage_]->ImportKeyedState(std::move(entries));
 }
 
+std::vector<CheckpointEntry> CompiledPipeline::SnapshotKeyedState() {
+  if (agg_stage_ < 0) return {};
+  return aggs_[agg_stage_]->SnapshotKeyedState();
+}
+
+void CompiledPipeline::RestoreKeyedState(std::vector<CheckpointEntry> entries) {
+  if (agg_stage_ < 0) return;
+  aggs_[agg_stage_]->RestoreKeyedState(std::move(entries));
+}
+
 KernelBolt::KernelBolt(std::vector<KernelDesc> stages) {
   auto compiled = CompiledPipeline::Compile(std::move(stages));
   if (compiled.ok()) {
@@ -231,6 +241,15 @@ std::vector<KeyedStateEntry> KernelBolt::ExportKeyedState() {
 
 void KernelBolt::ImportKeyedState(std::vector<KeyedStateEntry> entries) {
   if (pipeline_) pipeline_->ImportKeyedState(std::move(entries));
+}
+
+std::vector<CheckpointEntry> KernelBolt::SnapshotKeyedState() {
+  return pipeline_ ? pipeline_->SnapshotKeyedState()
+                   : std::vector<CheckpointEntry>{};
+}
+
+void KernelBolt::RestoreKeyedState(std::vector<CheckpointEntry> entries) {
+  if (pipeline_) pipeline_->RestoreKeyedState(std::move(entries));
 }
 
 }  // namespace brisk::api

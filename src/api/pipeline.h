@@ -69,6 +69,10 @@ class CompiledPipeline {
   std::vector<KeyedStateEntry> ExportKeyedState();
   void ImportKeyedState(std::vector<KeyedStateEntry> entries);
 
+  /// Checkpoint capture/restore for the chain's aggregate stage.
+  std::vector<CheckpointEntry> SnapshotKeyedState();
+  void RestoreKeyedState(std::vector<CheckpointEntry> entries);
+
  private:
   explicit CompiledPipeline(std::vector<KernelDesc> stages);
 
@@ -99,6 +103,8 @@ class KernelBolt final : public Operator {
 
   std::vector<KeyedStateEntry> ExportKeyedState() override;
   void ImportKeyedState(std::vector<KeyedStateEntry> entries) override;
+  std::vector<CheckpointEntry> SnapshotKeyedState() override;
+  void RestoreKeyedState(std::vector<CheckpointEntry> entries) override;
 
  private:
   Status compile_status_;

@@ -9,10 +9,25 @@ namespace brisk::apps {
 Status SensorSpout::Prepare(const api::OperatorContext& ctx) {
   // A seeded job (Job::WithSeed) supplies the per-replica seed so runs
   // are reproducible end-to-end.
-  rng_ = Rng(ctx.seed != 0
-                 ? ctx.seed
-                 : params_.seed + 0x7f4a7c15ULL * (ctx.replica_index + 1));
+  effective_seed_ =
+      ctx.seed != 0 ? ctx.seed
+                    : params_.seed + 0x7f4a7c15ULL * (ctx.replica_index + 1);
+  rng_ = Rng(effective_seed_);
   return Status::OK();
+}
+
+bool SensorSpout::Rewind(uint64_t position) {
+  // Re-seed and fast-forward: regenerate (and discard) exactly the RNG
+  // draws the first `position` readings consumed, mirroring NextBatch's
+  // draw sequence (device, reading, spike coin, spike magnitude).
+  rng_ = Rng(effective_seed_);
+  for (uint64_t i = 0; i < position; ++i) {
+    (void)rng_.NextBounded(params_.num_devices);
+    (void)rng_.NextDouble();
+    if (rng_.NextBernoulli(0.01)) (void)rng_.NextDouble();
+  }
+  produced_ = position;
+  return true;
 }
 
 size_t SensorSpout::NextBatch(size_t max_tuples, api::OutputCollector* out) {
@@ -71,6 +86,31 @@ void MovingAverage::ImportKeyedState(
   for (auto& e : entries) {
     windows_[e.key.AsInt()] =
         std::move(*std::static_pointer_cast<WindowState>(e.state));
+  }
+}
+
+std::vector<api::CheckpointEntry> MovingAverage::SnapshotKeyedState() {
+  std::vector<api::CheckpointEntry> out;
+  out.reserve(windows_.size());
+  for (const auto& [device, window] : windows_) {
+    Tuple state;
+    state.fields.reserve(window.values.size() + 1);
+    state.fields.emplace_back(window.sum);
+    for (const double v : window.values) state.fields.emplace_back(v);
+    out.push_back({Field(device), std::move(state)});
+  }
+  return out;
+}
+
+void MovingAverage::RestoreKeyedState(
+    std::vector<api::CheckpointEntry> entries) {
+  for (auto& e : entries) {
+    WindowState w;
+    w.sum = e.state.fields[0].AsDouble();
+    for (size_t i = 1; i < e.state.fields.size(); ++i) {
+      w.values.push_back(e.state.fields[i].AsDouble());
+    }
+    windows_[e.key.AsInt()] = std::move(w);
   }
 }
 
@@ -138,7 +178,25 @@ StatusOr<api::Topology> BuildSpikeDetectionDsl(
                     w.sum / static_cast<double>(w.values.size()));
                 t.origin_ts_ns = in.origin_ts_ns;
                 out.Emit(std::move(t));
-              }))
+              }),
+          // Checkpoint codec: [sum, v0..vn]. The running sum is
+          // stored, not recomputed, so a restored window is bit-exact
+          // (floating-point summation order preserved).
+          std::function<Tuple(const Window&)>([](const Window& w) {
+            Tuple t;
+            t.fields.reserve(w.values.size() + 1);
+            t.fields.emplace_back(w.sum);
+            for (const double v : w.values) t.fields.emplace_back(v);
+            return t;
+          }),
+          std::function<Window(const Tuple&)>([](const Tuple& t) {
+            Window w;
+            w.sum = t.fields[0].AsDouble();
+            for (size_t i = 1; i < t.fields.size(); ++i) {
+              w.values.push_back(t.fields[i].AsDouble());
+            }
+            return w;
+          }))
       .FlatMap("spike_detect",
                api::FlatMapOf(
                    [params](const Tuple& in, api::RowEmitter& out) {

@@ -39,9 +39,17 @@ class SensorSpout : public api::Spout {
   Status Prepare(const api::OperatorContext& ctx) override;
   size_t NextBatch(size_t max_tuples, api::OutputCollector* out) override;
 
+  /// Replay support (checkpoint/restore): re-seeds and regenerates the
+  /// discarded prefix's RNG draws, so the replayed reading stream is
+  /// bit-identical to the original emission.
+  bool Replayable() const override { return true; }
+  uint64_t Position() const override { return produced_; }
+  bool Rewind(uint64_t position) override;
+
  private:
   SpikeDetectionParams params_;
   Rng rng_;
+  uint64_t effective_seed_ = 0;  ///< what Prepare seeded rng_ with
   uint64_t produced_ = 0;  ///< readings emitted (max_readings cap)
 };
 
@@ -55,6 +63,11 @@ class MovingAverage : public api::Operator {
   void Process(const Tuple& in, api::OutputCollector* out) override;
   std::vector<api::KeyedStateEntry> ExportKeyedState() override;
   void ImportKeyedState(std::vector<api::KeyedStateEntry> entries) override;
+  /// Checkpoint hooks. The window serializes as [sum, v0..vn] — the
+  /// running sum is stored, not recomputed, so a restored window is
+  /// bit-exact (floating-point summation order preserved).
+  std::vector<api::CheckpointEntry> SnapshotKeyedState() override;
+  void RestoreKeyedState(std::vector<api::CheckpointEntry> entries) override;
 
  private:
   struct WindowState {

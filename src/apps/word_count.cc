@@ -47,9 +47,11 @@ Status SentenceSpout::Prepare(const api::OperatorContext& ctx) {
   // Distinct seed per replica so replicas emit different sentences; a
   // seeded job (Job::WithSeed) supplies the per-replica seed instead,
   // making runs reproducible end-to-end.
-  rng_ = Rng(ctx.seed != 0
-                 ? ctx.seed
-                 : params_.seed + 0x9e3779b9ULL * (ctx.replica_index + 1));
+  effective_seed_ =
+      ctx.seed != 0
+          ? ctx.seed
+          : params_.seed + 0x9e3779b9ULL * (ctx.replica_index + 1);
+  rng_ = Rng(effective_seed_);
   dictionary_.reserve(params_.vocabulary);
   Rng dict_rng(params_.seed);  // shared dictionary across replicas
   static const char* kSyllables[] = {"ka", "lo", "mi", "ra", "tu", "ves",
@@ -90,6 +92,21 @@ size_t SentenceSpout::NextBatch(size_t max_tuples,
     out->Emit(std::move(t));
   }
   return max_tuples;
+}
+
+bool SentenceSpout::Rewind(uint64_t position) {
+  // Re-seed and fast-forward: each sentence consumes exactly
+  // words_per_sentence Zipf draws, so regenerating (and discarding)
+  // that many draws leaves the RNG exactly where it was after sentence
+  // `position` — the replayed stream continues bit-identically.
+  rng_ = Rng(effective_seed_);
+  for (uint64_t s = 0; s < position; ++s) {
+    for (int w = 0; w < params_.words_per_sentence; ++w) {
+      (void)rng_.NextZipf(dictionary_.size(), params_.zipf_theta);
+    }
+  }
+  produced_ = position;
+  return true;
 }
 
 void Splitter::Process(const Tuple& in, api::OutputCollector* out) {
@@ -134,6 +151,24 @@ void WordCounter::ImportKeyedState(std::vector<api::KeyedStateEntry> entries) {
   for (auto& e : entries) {
     counts_[std::string(e.key.AsString())] +=
         *std::static_pointer_cast<int64_t>(e.state);
+  }
+}
+
+std::vector<api::CheckpointEntry> WordCounter::SnapshotKeyedState() {
+  std::vector<api::CheckpointEntry> out;
+  out.reserve(counts_.size());
+  for (const auto& [word, count] : counts_) {
+    Tuple state;
+    state.fields.emplace_back(count);
+    out.push_back({Field(word), std::move(state)});
+  }
+  return out;
+}
+
+void WordCounter::RestoreKeyedState(
+    std::vector<api::CheckpointEntry> entries) {
+  for (auto& e : entries) {
+    counts_[std::string(e.key.AsString())] = e.state.fields[0].AsInt();
   }
 }
 

@@ -41,9 +41,18 @@ class SentenceSpout : public api::Spout {
   Status Prepare(const api::OperatorContext& ctx) override;
   size_t NextBatch(size_t max_tuples, api::OutputCollector* out) override;
 
+  /// Replay support (checkpoint/restore): the sentence stream is a
+  /// pure function of the effective seed, so rewinding re-seeds and
+  /// regenerates the discarded prefix's RNG draws — the replayed
+  /// suffix is bit-identical to the original emission.
+  bool Replayable() const override { return true; }
+  uint64_t Position() const override { return produced_; }
+  bool Rewind(uint64_t position) override;
+
  private:
   WordCountParams params_;
   Rng rng_;
+  uint64_t effective_seed_ = 0;  ///< what Prepare seeded rng_ with
   std::vector<std::string> dictionary_;
   uint64_t produced_ = 0;  ///< sentences emitted (max_sentences cap)
 };
@@ -63,6 +72,10 @@ class WordCounter : public api::Operator {
   void Process(const Tuple& in, api::OutputCollector* out) override;
   std::vector<api::KeyedStateEntry> ExportKeyedState() override;
   void ImportKeyedState(std::vector<api::KeyedStateEntry> entries) override;
+  /// Checkpoint hooks: non-destructive (the job keeps running on the
+  /// same state after the snapshot), serializable counts.
+  std::vector<api::CheckpointEntry> SnapshotKeyedState() override;
+  void RestoreKeyedState(std::vector<api::CheckpointEntry> entries) override;
 
  private:
   std::unordered_map<std::string, int64_t> counts_;

@@ -10,6 +10,9 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+
+#include "engine/fault.h"
 
 namespace brisk::engine {
 
@@ -144,6 +147,11 @@ struct EngineConfig {
   /// dropped with the queues.
   bool graceful_drain = true;
   double drain_timeout_s = 1.0;
+
+  /// Injected failure scenario (engine/fault.h). Empty = no faults.
+  /// Deterministic under `seed`: triggers are tuple-count based, so a
+  /// seeded job fails identically on every run.
+  FaultPlan faults;
 
   /// Producer-side in-flight bound per channel, in batches: the
   /// cooperative cap clamped to the queue capacity, or kUncapped when

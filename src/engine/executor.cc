@@ -224,6 +224,13 @@ class WorkerPoolExecutor final : public Executor {
     return s;
   }
 
+  std::vector<uint64_t> Heartbeats() const override {
+    std::vector<uint64_t> beats;
+    beats.reserve(workers_.size());
+    for (const auto& w : workers_) beats.push_back(w->heartbeat.value());
+    return beats;
+  }
+
  private:
   struct Worker {
     Waker waker;
@@ -232,6 +239,9 @@ class WorkerPoolExecutor final : public Executor {
     int index_in_socket = 0;
     uint64_t parks = 0;
     uint64_t wakes = 0;
+    /// Scheduling passes completed (single-writer; the supervisor
+    /// reads it cross-thread as a liveness signal).
+    RelaxedCounter heartbeat;
     std::thread thread;
   };
 
@@ -241,6 +251,7 @@ class WorkerPoolExecutor final : public Executor {
         std::chrono::microseconds(std::max(1, config_.park_timeout_us));
     int idle_passes = 0;
     while (!signals_->stop_all.load(std::memory_order_relaxed)) {
+      ++w->heartbeat;
       bool progress = false;
       for (Task* t : w->tasks) {
         if (t->Poll(budget) == PollResult::kProgress) progress = true;

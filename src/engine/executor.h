@@ -69,6 +69,14 @@ class Executor {
   virtual void Join() = 0;
 
   virtual ExecutorStats stats() const = 0;
+
+  /// One monotonically increasing counter per worker thread, bumped on
+  /// every scheduling pass — the supervisor's liveness signal: a
+  /// counter that stops advancing while the worker's tasks hold
+  /// backlog means the worker (not the workload) is stuck. Executors
+  /// without a central loop (thread-per-task) return empty; liveness
+  /// then falls back to per-task progress counters.
+  virtual std::vector<uint64_t> Heartbeats() const { return {}; }
 };
 
 /// Builds the executor selected by `config.executor`. `machine` (the

@@ -35,6 +35,17 @@ StatusOr<std::unique_ptr<BriskRuntime>> BriskRuntime::Create(
 Status BriskRuntime::WireGraph(
     const model::ExecutionPlan& plan,
     const std::function<Harvested(int op, int replica)>& reuse) {
+  // Fault fire-counts survive rebuilds: harvest what the outgoing
+  // tasks fired before dropping them (every rebuild path joins the
+  // executor first, so the fired flags are stable). Without this a
+  // recovery would re-arm and re-fire the very fault it recovered
+  // from, forever.
+  if (fault_fires_.size() != config_.faults.specs.size()) {
+    fault_fires_.assign(config_.faults.specs.size(), 0);
+  }
+  for (const auto& task : tasks_) {
+    for (const int idx : task->FiredFaultIndices()) ++fault_fires_[idx];
+  }
   // Tasks hold raw Channel pointers; drop them first.
   tasks_.clear();
   channels_.clear();
@@ -57,6 +68,7 @@ Status BriskRuntime::WireGraph(
     const auto& pi = plan.instance(i);
     const auto& op = topo_->op(pi.op);
     auto task = std::make_unique<Task>(i, pi.socket, config_, numa_);
+    task->SetIdentity(pi.op, pi.replica, op.name);
     Harvested h;
     if (reuse) h = reuse(pi.op, pi.replica);
     if (op.is_spout) {
@@ -75,6 +87,21 @@ Status BriskRuntime::WireGraph(
     }
     task->SetInstanceSockets(&instance_sockets_);
     tasks_.push_back(std::move(task));
+  }
+
+  // Arm injected faults on their target (op, replica), honoring each
+  // spec's remaining fire budget. kFailMigration is ApplyMigration's
+  // business, not any task's.
+  for (size_t fi = 0; fi < config_.faults.specs.size(); ++fi) {
+    const FaultSpec& spec = config_.faults.specs[fi];
+    if (spec.kind == FaultSpec::Kind::kFailMigration) continue;
+    if (fault_fires_[fi] >= spec.trigger_limit) continue;
+    if (spec.op < 0 || spec.op >= topo_->num_operators()) continue;
+    if (spec.replica < 0 || spec.replica >= plan.replication(spec.op)) {
+      continue;
+    }
+    tasks_[plan.InstanceId(spec.op, spec.replica)]->ArmFault(
+        static_cast<int>(fi), spec);
   }
 
   // Wire channels per topology edge.
@@ -213,6 +240,7 @@ bool BriskRuntime::QuiesceAndJoin(double* drain_seconds,
   signals_.stop_spouts.store(true);
   executor_->NotifyAll();
   const bool drained = WaitForDrain(config_.drain_timeout_s);
+  if (!drained) drain_timed_out_ = true;
   if (drain_seconds != nullptr) {
     *drain_seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - drain_start)
@@ -275,6 +303,27 @@ Status BriskRuntime::ApplyMigration(const opt::MigrationPlan& migration) {
   BRISK_ASSIGN_OR_RETURN(model::ExecutionPlan next,
                          opt::ApplyStepsToPlan(plan_, migration));
 
+  // An armed kFailMigration fault (with fire budget left) fires at its
+  // configured phase of this protocol.
+  int fm_index = -1;
+  const FaultSpec* fm = nullptr;
+  for (size_t fi = 0; fi < config_.faults.specs.size(); ++fi) {
+    const FaultSpec& spec = config_.faults.specs[fi];
+    if (spec.kind != FaultSpec::Kind::kFailMigration) continue;
+    if (fi < fault_fires_.size() && fault_fires_[fi] >= spec.trigger_limit) {
+      continue;
+    }
+    fm_index = static_cast<int>(fi);
+    fm = &spec;
+    break;
+  }
+  if (fm != nullptr && fm->at_phase == 0) {
+    // Before the pause: a clean rejection, job undisturbed.
+    ++fault_fires_[fm_index];
+    return Status::Internal(
+        "injected migration failure before the pause; job undisturbed");
+  }
+
   // 2. Quiesce at a batch boundary and join the executor (in-flight
   // batches are preserved — parked, not dropped — even if the
   // cooperative drain times out), then sweep residuals to the sinks
@@ -285,6 +334,21 @@ Status BriskRuntime::ApplyMigration(const opt::MigrationPlan& migration) {
                     << " s; residual sweep delivers the backlog";
   }
   SweepResiduals();
+
+  if (fm != nullptr && fm->at_phase == 1) {
+    // After the pause, before the rebuild: nothing was dismantled —
+    // the old graph is intact and fully drained, so roll back by
+    // resuming it. Zero tuples were lost either way.
+    ++fault_fires_[fm_index];
+    const Status resumed = StartExecutor();
+    if (!resumed.ok()) {
+      running_ = false;
+      dead_ = true;
+      return resumed;
+    }
+    return Status::Internal(
+        "injected migration failure after the pause; rolled back");
+  }
 
   // 3. Harvest operator instances and stats by (op, replica), and
   // export keyed state wherever the replication level changes (the
@@ -358,6 +422,17 @@ Status BriskRuntime::ApplyMigration(const opt::MigrationPlan& migration) {
     }
   }
 
+  if (fm != nullptr && fm->at_phase >= 2) {
+    // Past the point of no return: the old graph is gone and the new
+    // one never starts. The job is down until a checkpoint Restore
+    // (the supervisor's recovery path) revives it.
+    ++fault_fires_[fm_index];
+    running_ = false;
+    dead_ = true;
+    return Status::Internal(
+        "injected migration failure after the rebuild; job down");
+  }
+
   // 6. Resume on a fresh executor honoring the new placement.
   const Status resumed = StartExecutor();
   if (!resumed.ok()) {
@@ -368,6 +443,235 @@ Status BriskRuntime::ApplyMigration(const opt::MigrationPlan& migration) {
   ++migrations_;
   epoch_.fetch_add(1, std::memory_order_release);
   return Status::OK();
+}
+
+StatusOr<JobCheckpoint> BriskRuntime::Checkpoint() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_) {
+    return Status::FailedPrecondition("Checkpoint requires a running engine");
+  }
+  const auto pause_start = std::chrono::steady_clock::now();
+  // Same pause as a migration: quiesce at a batch boundary preserving
+  // in-flight envelopes, then sweep residuals to the sinks. After the
+  // sweep, keyed state and source positions are mutually consistent —
+  // every produced tuple has fully taken effect, none is half-applied.
+  if (!QuiesceAndJoin(nullptr, /*preserve_inflight=*/true)) {
+    BRISK_LOG(Warn) << "checkpoint drain timed out after "
+                    << config_.drain_timeout_s
+                    << " s; residual sweep delivers the backlog";
+  }
+  SweepResiduals();
+
+  // Consistency guard: a snapshot is only valid if every produced
+  // tuple reached its state. A failed replica discards the input the
+  // sweep hands it, and a wedged push keeps its envelope parked past
+  // the sweep — either way the source positions would run ahead of the
+  // captured state, and restoring such a snapshot would silently lose
+  // the gap. Refuse, resume, and let the supervisor keep its last good
+  // checkpoint (it is about to detect the failure anyway).
+  bool consistent = true;
+  for (const auto& task : tasks_) {
+    if (task->failed() || task->pending_live() != 0) {
+      consistent = false;
+      break;
+    }
+  }
+  for (const auto& ch : channels_) {
+    if (!ch->EmptyApprox()) {
+      consistent = false;
+      break;
+    }
+  }
+  if (!consistent) {
+    const Status resumed = StartExecutor();
+    if (!resumed.ok()) {
+      running_ = false;
+      dead_ = true;
+      return resumed;
+    }
+    return Status::Unavailable(
+        "checkpoint refused: a replica failed or holds undelivered input, "
+        "so captured state would trail the source positions");
+  }
+
+  JobCheckpoint cp;
+  cp.epoch = epoch_.load(std::memory_order_acquire);
+  cp.plan = plan_;
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    const auto& pi = plan_.instance(static_cast<int>(i));
+    if (api::Spout* spout = tasks_[i]->spout()) {
+      cp.positions.push_back(
+          {pi.op, pi.replica, spout->Position(), spout->Replayable()});
+    } else if (api::Operator* bolt = tasks_[i]->bolt()) {
+      auto entries = bolt->SnapshotKeyedState();
+      if (!entries.empty()) {
+        cp.state.push_back({pi.op, pi.replica, std::move(entries)});
+      }
+    }
+  }
+
+  // Resume on a fresh executor — same graph, same plan, no epoch bump.
+  const Status resumed = StartExecutor();
+  if (!resumed.ok()) {
+    running_ = false;
+    dead_ = true;
+    return resumed;
+  }
+  ++checkpoints_;
+  cp.pause_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - pause_start)
+                         .count();
+  return cp;
+}
+
+Status BriskRuntime::Restore(const JobCheckpoint& cp,
+                             uint64_t* replayed_tuples) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_ && !dead_) {
+    return Status::FailedPrecondition(
+        "Restore requires a running or failed engine");
+  }
+  // Validate the checkpoint against the topology before touching the
+  // live graph, so a corrupt checkpoint leaves the job as it was.
+  if (!cp.plan.FullyPlaced()) {
+    return Status::InvalidArgument("checkpoint plan is not fully placed");
+  }
+  for (const auto& s : cp.state) {
+    if (s.op < 0 || s.op >= topo_->num_operators() ||
+        topo_->op(s.op).is_spout) {
+      return Status::InvalidArgument(
+          "checkpoint keyed state targets an operator that is not a bolt");
+    }
+  }
+  for (const auto& p : cp.positions) {
+    if (p.op < 0 || p.op >= topo_->num_operators() ||
+        !topo_->op(p.op).is_spout || p.replica < 0 ||
+        p.replica >= cp.plan.replication(p.op)) {
+      return Status::InvalidArgument(
+          "checkpoint position does not name a source replica");
+    }
+  }
+
+  // Hard halt — no graceful drain. A failed graph may be wedged (a
+  // crashed bolt consumes nothing; its producers park forever), so a
+  // drain could never converge. Abandoning in-flight envelopes is
+  // safe: everything after the checkpoint replays anyway.
+  if (executor_ != nullptr) JoinExecutorAndFold();
+
+  // Duplicate-window accounting: how far past the captured positions
+  // did the replayable sources get before the halt? Everything in
+  // that window is emitted twice (at-least-once delivery).
+  uint64_t replayed = 0;
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    const auto& pi = plan_.instance(static_cast<int>(i));
+    api::Spout* spout = tasks_[i]->spout();
+    if (spout == nullptr || !spout->Replayable()) continue;
+    const uint64_t live_pos = spout->Position();
+    for (const auto& p : cp.positions) {
+      if (p.op == pi.op && p.replica == pi.replica && p.replayable &&
+          live_pos > p.position) {
+        replayed += live_pos - p.position;
+      }
+    }
+  }
+  if (replayed_tuples != nullptr) *replayed_tuples = replayed;
+
+  // The dying epoch's counters fold into the per-op totals so the
+  // run-level report stays cumulative across the failure.
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    retired_op_stats_[instance_op_[i]].Accumulate(tasks_[i]->stats());
+  }
+
+  // Rebuild all-fresh to the checkpoint's plan. (WireGraph harvests
+  // fault fire-counts from the dying tasks first, so a one-shot
+  // injected fault does not re-fire after the recovery it caused.)
+  const Status rebuilt = WireGraph(cp.plan, nullptr);
+  if (!rebuilt.ok()) {
+    running_ = false;
+    dead_ = true;
+    return rebuilt;
+  }
+
+  // Re-partition captured keyed state exactly like a fields grouping
+  // routes tuples: entry → replica HashField(key) % replication.
+  std::vector<std::vector<api::CheckpointEntry>> per_op(
+      topo_->num_operators());
+  for (const auto& s : cp.state) {
+    per_op[s.op].insert(per_op[s.op].end(), s.entries.begin(),
+                        s.entries.end());
+  }
+  for (int op = 0; op < topo_->num_operators(); ++op) {
+    if (per_op[op].empty()) continue;
+    const int repl = plan_.replication(op);
+    std::vector<std::vector<api::CheckpointEntry>> buckets(repl);
+    for (auto& entry : per_op[op]) {
+      buckets[HashField(entry.key) % static_cast<size_t>(repl)].push_back(
+          std::move(entry));
+    }
+    for (int r = 0; r < repl; ++r) {
+      if (buckets[r].empty()) continue;
+      api::Operator* bolt = tasks_[plan_.InstanceId(op, r)]->bolt();
+      BRISK_CHECK(bolt != nullptr) << "validated above";
+      bolt->RestoreKeyedState(std::move(buckets[r]));
+    }
+  }
+
+  // Rewind replayable sources to the captured positions. A source
+  // that refuses resumes from scratch (it was rebuilt fresh) — that
+  // is a gap on its stream, and we say so.
+  for (const auto& p : cp.positions) {
+    api::Spout* spout = tasks_[plan_.InstanceId(p.op, p.replica)]->spout();
+    BRISK_CHECK(spout != nullptr) << "validated above";
+    if (p.replayable && !spout->Rewind(p.position)) {
+      BRISK_LOG(Warn) << "source op " << p.op << " replica " << p.replica
+                      << " refused Rewind(" << p.position
+                      << "); its stream restarts with a gap";
+    }
+  }
+
+  const Status resumed = StartExecutor();
+  if (!resumed.ok()) {
+    running_ = false;
+    dead_ = true;
+    return resumed;
+  }
+  running_ = true;
+  dead_ = false;
+  ++restores_;
+  epoch_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
+}
+
+HealthReport BriskRuntime::ProbeHealth() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  HealthReport report;
+  report.running = running_;
+  report.dead = dead_;
+  // Input backlog per instance, sampled from the channel side (SPSC
+  // rings expose approximate sizes safely cross-thread).
+  std::vector<uint64_t> backlog(tasks_.size(), 0);
+  for (const auto& ch : channels_) {
+    backlog[static_cast<size_t>(ch->to_instance())] += ch->SizeApprox();
+  }
+  report.tasks.reserve(tasks_.size());
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    Task& t = *tasks_[i];
+    TaskHealth h;
+    h.op = t.op();
+    h.replica = t.replica();
+    h.op_name = t.op_name();
+    h.spout = t.is_spout();
+    h.tuples_in = t.stats().tuples_in;
+    h.backlog = backlog[i];
+    h.pending_live = t.pending_live();
+    h.failed = t.failed();
+    if (h.failed) h.failure_message = t.failure_message();
+    report.tasks.push_back(std::move(h));
+  }
+  if (executor_ != nullptr) {
+    report.worker_heartbeats = executor_->Heartbeats();
+  }
+  return report;
 }
 
 std::vector<TaskStats> BriskRuntime::OpTotals() const {
@@ -384,6 +688,9 @@ void BriskRuntime::CollectStats(RunStats* stats) const {
                           std::chrono::steady_clock::now() - started_at_)
                           .count();
   stats->migrations = migrations_;
+  stats->checkpoints = checkpoints_;
+  stats->restores = restores_;
+  stats->drain_timed_out = drain_timed_out_;
   stats->tasks.reserve(tasks_.size());
   for (const auto& task : tasks_) stats->tasks.push_back(task->stats());
   stats->op_totals = OpTotals();

@@ -9,12 +9,14 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "api/topology.h"
 #include "common/status.h"
 #include "engine/channel.h"
+#include "engine/checkpoint.h"
 #include "engine/config.h"
 #include "engine/executor.h"
 #include "engine/task.h"
@@ -38,6 +40,14 @@ struct RunStats {
 
   /// Live migrations applied during the run (plan epochs - 1).
   int migrations = 0;
+  /// Checkpoints taken and checkpoint restores performed.
+  int checkpoints = 0;
+  int restores = 0;
+  /// Sticky: some quiesce drain (migration pause, checkpoint pause or
+  /// graceful stop) ran past EngineConfig::drain_timeout_s. The engine
+  /// recovered via the residual sweep, but the timeout budget was
+  /// blown — surfaced so callers can treat it as a soft failure.
+  bool drain_timed_out = false;
   /// Per-operator counters accumulated across migration epochs,
   /// indexed by topology operator id: surviving replicas carry their
   /// counters across epochs and retired replicas fold in here at
@@ -45,6 +55,37 @@ struct RunStats {
   /// counter in, ...) hold for the whole run no matter how the plan
   /// changed mid-flight. Filled by Stop()/SnapshotStats().
   std::vector<TaskStats> op_totals;
+};
+
+/// Liveness/failure view of one task, as sampled by ProbeHealth().
+struct TaskHealth {
+  int op = -1;
+  int replica = 0;
+  std::string op_name;
+  bool spout = false;
+  /// Progress counter: tuples consumed (bolts) / emitted shells seen
+  /// (spouts count via tuples_in too — batches are self-consumed).
+  uint64_t tuples_in = 0;
+  /// Approximate tuples queued on this task's input channels.
+  uint64_t backlog = 0;
+  /// Envelopes parked on back-pressure inside the task.
+  size_t pending_live = 0;
+  /// The task contained an operator failure (exception or injected
+  /// crash) and retired itself; `failure_message` says which operator
+  /// replica threw and why.
+  bool failed = false;
+  std::string failure_message;
+};
+
+/// One supervisor probe: per-task health plus executor liveness.
+struct HealthReport {
+  bool running = false;
+  /// A migration/restore failed past its point of no return; the
+  /// engine is down until Restore() revives it.
+  bool dead = false;
+  std::vector<TaskHealth> tasks;
+  /// Per-worker scheduling-pass counters (empty for thread-per-task).
+  std::vector<uint64_t> worker_heartbeats;
 };
 
 /// Owns tasks, channels and the executor for one deployed application.
@@ -133,6 +174,33 @@ class BriskRuntime {
   /// from.
   RunStats SnapshotStats();
 
+  /// Takes a consistent snapshot of the running job: quiesces with the
+  /// pause-and-migrate machinery (spouts stop at a batch boundary,
+  /// in-flight envelopes drain/sweep to the sinks), captures every
+  /// bolt's keyed state (api::Operator::SnapshotKeyedState — non-
+  /// destructive) and every source's replay position, then resumes on
+  /// a fresh executor. The pause cost is reported in
+  /// JobCheckpoint::pause_seconds. Fails if the engine is not running.
+  StatusOr<JobCheckpoint> Checkpoint();
+
+  /// Recovers the job from `cp`: hard-halts whatever is left of the
+  /// current graph (no drain — a failed graph may be wedged), folds
+  /// its counters into the per-op totals, rebuilds tasks + channels to
+  /// the checkpoint's plan with all-fresh operators, restores keyed
+  /// state (re-bucketed by the fields-grouping hash), rewinds
+  /// replayable sources to the captured positions and resumes.
+  /// Delivery is at-least-once: tuples produced after the checkpoint
+  /// replay. `replayed_tuples` (nullable) receives the total source
+  /// positions rolled back — the duplicate-emission window. Valid from
+  /// both a running (partially failed) and a dead engine.
+  Status Restore(const JobCheckpoint& cp,
+                 uint64_t* replayed_tuples = nullptr);
+
+  /// Race-free liveness sample for the supervisor: per-task progress
+  /// counters, input backlog, parked envelopes and contained-failure
+  /// state, plus per-worker executor heartbeats.
+  HealthReport ProbeHealth();
+
   int num_tasks() const { return static_cast<int>(tasks_.size()); }
 
  private:
@@ -207,6 +275,15 @@ class BriskRuntime {
   std::mutex lifecycle_mu_;
   std::atomic<int> epoch_{0};
   int migrations_ = 0;
+  int checkpoints_ = 0;
+  int restores_ = 0;
+  /// Sticky drain-timeout flag (see RunStats::drain_timed_out).
+  bool drain_timed_out_ = false;
+  /// Fire count per EngineConfig::faults spec, accumulated across
+  /// graph rebuilds (fresh tasks would otherwise re-arm and re-fire a
+  /// one-shot fault after every recovery). Harvested from the old
+  /// tasks at the top of WireGraph; arming honors trigger_limit.
+  std::vector<int> fault_fires_;
   /// Stats of replicas retired by migrations, folded per operator.
   std::vector<TaskStats> retired_op_stats_;
   /// Park/wake counters of executors torn down by migrations.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "common/logging.h"
@@ -44,8 +45,21 @@ void Task::AddOutRoute(OutRoute route) {
 }
 
 Status Task::Prepare(const api::OperatorContext& ctx) {
-  if (spout_) return spout_->Prepare(ctx);
-  if (bolt_) return bolt_->Prepare(ctx);
+  // Contain Prepare-time exceptions too: a throwing factory/operator
+  // surfaces as a Status naming the replica instead of unwinding
+  // through the engine.
+  try {
+    if (spout_) return spout_->Prepare(ctx);
+    if (bolt_) return bolt_->Prepare(ctx);
+  } catch (const std::exception& e) {
+    return Status::Internal("operator '" + ctx.operator_name + "' replica " +
+                            std::to_string(ctx.replica_index) +
+                            " threw in Prepare: " + e.what());
+  } catch (...) {
+    return Status::Internal("operator '" + ctx.operator_name + "' replica " +
+                            std::to_string(ctx.replica_index) +
+                            " threw in Prepare: unknown exception");
+  }
   return Status::FailedPrecondition("task has neither spout nor bolt");
 }
 
@@ -66,6 +80,7 @@ void Task::Bind(const StopSignals* signals, bool cooperative) {
   pending_.clear();
   pending_head_ = 0;
   pending_live_ = 0;
+  wedged_slot_ = ~size_t{0};
   last_refill_ns_ = 0;
   staged_dirty_ = false;
   // Cooperative in-flight cap: bound the cold inventory per channel so
@@ -170,7 +185,66 @@ void Task::ConsumeSelected(JumboTuple* batch, const SelectionVector& sel) {
       [&](size_t i) { EmitTo(0, std::move(batch->tuples[i])); });
 }
 
+void Task::MaybeThrowInjected() {
+  for (auto& f : faults_) {
+    if (f.fired) continue;
+    if (f.spec.kind != FaultSpec::Kind::kCrash &&
+        f.spec.kind != FaultSpec::Kind::kThrow) {
+      continue;
+    }
+    if (stats_.tuples_in.value() >= f.spec.after_tuples) {
+      f.fired = true;
+      throw std::runtime_error(std::string("injected ") +
+                               FaultKindName(f.spec.kind) + " after " +
+                               std::to_string(stats_.tuples_in.value()) +
+                               " tuples");
+    }
+  }
+}
+
+bool Task::StallInjected() {
+  if (stalled_.load(std::memory_order_relaxed)) return true;
+  for (auto& f : faults_) {
+    if (f.fired || f.spec.kind != FaultSpec::Kind::kStall) continue;
+    if (stats_.tuples_in.value() >= f.spec.after_tuples) {
+      f.fired = true;
+      stalled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Task::MaybeWedgePush(Envelope& env, Channel* channel) {
+  if (wedged_slot_ != ~size_t{0}) return false;  // one wedge per run
+  for (auto& f : faults_) {
+    if (f.fired || f.spec.kind != FaultSpec::Kind::kWedgePush) continue;
+    if (stats_.tuples_out.value() < f.spec.after_tuples) continue;
+    f.fired = true;
+    // Park the envelope where ordered retry will meet it first and
+    // never let TryDrainPending push it: everything behind it stays
+    // parked too, pending_live() never returns to zero, and a graceful
+    // drain can no longer converge.
+    wedged_slot_ = pending_.size();
+    pending_.push_back(PendingPush{std::move(env), channel});
+    pending_live_ = pending_.size() - pending_head_;
+    return true;
+  }
+  return false;
+}
+
+void Task::RecordFailure(const std::string& what) {
+  failure_message_ = "operator '" + op_name_ + "' replica " +
+                     std::to_string(replica_) + ": " + what;
+  BRISK_LOG(Warn) << "task " << instance_id_ << " failed: "
+                  << failure_message_;
+  // Release-publish: readers that observe failed_ == true (acquire)
+  // see the complete message.
+  failed_.store(true, std::memory_order_release);
+}
+
 bool Task::PushEnvelope(Envelope&& env, Channel* channel) {
+  if (!faults_.empty() && MaybeWedgePush(env, channel)) return false;
   // Migration pause: batches must survive the halt for the residual
   // sweep, so even the legacy mode switches to parking (spinning would
   // never release under a joined consumer, dropping would lose data).
@@ -237,7 +311,8 @@ bool Task::TryDrainPending() {
   const size_t cap = finalizing_ ? ~size_t{0} : soft_cap_;
   while (pending_head_ < pending_.size()) {
     PendingPush& p = pending_[pending_head_];
-    if (p.channel->SizeApprox() >= cap ||
+    if (pending_head_ == wedged_slot_ ||  // injected permanent park
+        p.channel->SizeApprox() >= cap ||
         !p.channel->TryPush(std::move(p.env))) {
       pending_live_ = pending_.size() - pending_head_;
       return false;
@@ -306,6 +381,7 @@ bool Task::FlushAll(bool force) {
 
 void Task::Consume(Envelope env, Channel* from) {
   if (!env.batch) return;  // dropped/empty envelope
+  if (failed_.load(std::memory_order_relaxed)) return;  // replica is dead
   std::vector<Tuple> local_tuples;
   const std::vector<Tuple>* tuples = nullptr;
   if (!env.batch->bytes.empty()) {
@@ -334,17 +410,30 @@ void Task::Consume(Envelope env, Channel* from) {
   // scratch, so size-after is not the ingress count.
   const size_t n_in = tuples->size();
   const int64_t t0 = NowNs();
-  if (vec_ok_ && env.batch->bytes.empty()) {
-    // Whole-batch dispatch through the bolt's compiled pipeline; this
-    // task is the PipelineSink, so survivors route through the same
-    // partition controller as interpreted emissions.
-    pipe_->RunBatch(env.batch.get(), this);
-    stats_.tuples_vec += n_in;
-  } else {
-    for (const Tuple& t : *tuples) {
-      if (config_.extra_condition_checks) LegacyPerTupleWork(t);
-      bolt_->Process(t, this);
+  // Containment region: an exception escaping the operator (or an
+  // injected crash) becomes a recorded task failure, not process
+  // death. The envelope's remaining tuples are dropped with the
+  // replica — recovery replays them from the last checkpoint.
+  try {
+    if (!faults_.empty()) MaybeThrowInjected();
+    if (vec_ok_ && env.batch->bytes.empty()) {
+      // Whole-batch dispatch through the bolt's compiled pipeline;
+      // this task is the PipelineSink, so survivors route through the
+      // same partition controller as interpreted emissions.
+      pipe_->RunBatch(env.batch.get(), this);
+      stats_.tuples_vec += n_in;
+    } else {
+      for (const Tuple& t : *tuples) {
+        if (config_.extra_condition_checks) LegacyPerTupleWork(t);
+        bolt_->Process(t, this);
+      }
     }
+  } catch (const std::exception& e) {
+    RecordFailure(e.what());
+    return;
+  } catch (...) {
+    RecordFailure("unknown exception");
+    return;
   }
   stats_.busy_ns += static_cast<uint64_t>(NowNs() - t0);
   stats_.tuples_in += n_in;
@@ -371,6 +460,11 @@ void Task::RunSpout() {
       SpoutBurstCap(config_.batch_size, rate_per_instance_);
   while (!signals_->stop_all.load(std::memory_order_relaxed) &&
          !signals_->stop_spouts.load(std::memory_order_relaxed)) {
+    if (!faults_.empty() && StallInjected()) {
+      // Injected stall: stay joinable, produce nothing.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
     if (rate_per_instance_ > 0.0) {
       const int64_t now = NowNs();
       tokens_ += static_cast<double>(now - last_refill_ns_) * 1e-9 *
@@ -385,8 +479,18 @@ void Task::RunSpout() {
       tokens_ -= config_.batch_size;
     }
     const int64_t t0 = NowNs();
-    const size_t produced =
-        spout_->NextBatch(static_cast<size_t>(config_.batch_size), this);
+    size_t produced = 0;
+    try {
+      if (!faults_.empty()) MaybeThrowInjected();
+      produced =
+          spout_->NextBatch(static_cast<size_t>(config_.batch_size), this);
+    } catch (const std::exception& e) {
+      RecordFailure(e.what());
+      break;
+    } catch (...) {
+      RecordFailure("unknown exception");
+      break;
+    }
     stats_.busy_ns += static_cast<uint64_t>(NowNs() - t0);
     stats_.tuples_in += produced;
     if (produced == 0) break;  // bounded source exhausted
@@ -396,6 +500,15 @@ void Task::RunSpout() {
 void Task::RunBolt() {
   int idle_spins = 0;
   while (!signals_->stop_all.load(std::memory_order_relaxed)) {
+    if (failed_.load(std::memory_order_relaxed)) {
+      // Contained failure: stop consuming, stay joinable.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    if (!faults_.empty() && StallInjected()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
     bool any = false;
     for (size_t k = 0; k < inputs_.size(); ++k) {
       Channel* ch = inputs_[(in_cursor_ + k) % inputs_.size()];
@@ -464,8 +577,20 @@ PollResult Task::PollSpout(int budget) {
       tokens_ -= config_.batch_size;
     }
     const int64_t t0 = NowNs();
-    const size_t produced =
-        spout_->NextBatch(static_cast<size_t>(config_.batch_size), this);
+    size_t produced = 0;
+    try {
+      if (!faults_.empty()) MaybeThrowInjected();
+      produced =
+          spout_->NextBatch(static_cast<size_t>(config_.batch_size), this);
+    } catch (const std::exception& e) {
+      RecordFailure(e.what());
+      source_done_ = true;
+      return PollResult::kDone;
+    } catch (...) {
+      RecordFailure("unknown exception");
+      source_done_ = true;
+      return PollResult::kDone;
+    }
     stats_.busy_ns += static_cast<uint64_t>(NowNs() - t0);
     stats_.tuples_in += produced;
     if (produced == 0) {  // bounded source exhausted
@@ -509,6 +634,8 @@ PollResult Task::PollBolt(int budget) {
 }
 
 PollResult Task::Poll(int budget) {
+  if (failed_.load(std::memory_order_relaxed)) return PollResult::kDone;
+  if (!faults_.empty() && StallInjected()) return PollResult::kIdle;
   if (!TryDrainPending()) return PollResult::kBlocked;
   return spout_ ? PollSpout(budget) : PollBolt(budget);
 }
@@ -532,7 +659,7 @@ void Task::Finalize() {
   finalized_ = true;
   finalizing_ = true;
   TryDrainPending();
-  if (bolt_) {
+  if (bolt_ && !failed_.load(std::memory_order_relaxed)) {
     // Upstream operators finalized before us (topological order), so
     // anything still queued on the inputs — late partials, upstream
     // finals — is consumed now, before this operator's own flush.
@@ -540,7 +667,15 @@ void Task::Finalize() {
     for (Channel* ch : inputs_) {
       while (ch->TryPop(&env)) Consume(std::move(env), ch);
     }
-    bolt_->Flush(this);
+    // Flush is an operator call too: contain its exceptions like
+    // Process's, so a throwing final cannot take the epilogue down.
+    try {
+      bolt_->Flush(this);
+    } catch (const std::exception& e) {
+      RecordFailure(e.what());
+    } catch (...) {
+      RecordFailure("unknown exception");
+    }
   }
   FlushAll(true);
   TryDrainPending();

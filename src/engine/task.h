@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "api/operator.h"
@@ -140,10 +141,52 @@ class Task : public api::OutputCollector, public api::PipelineSink {
     rate_per_instance_ = tuples_per_sec;
   }
 
+  /// Records which logical replica this task wraps, for failure
+  /// diagnostics and fault arming. Called by the runtime at wiring.
+  void SetIdentity(int op, int replica, std::string op_name) {
+    op_ = op;
+    replica_ = replica;
+    op_name_ = std::move(op_name);
+  }
+
+  /// Arms an injected fault (engine/fault.h) against this replica.
+  /// `index` keys the runtime's cross-rebuild fire accounting.
+  void ArmFault(int index, const FaultSpec& spec) {
+    faults_.push_back({index, spec, false});
+  }
+
+  /// Indices (into EngineConfig::faults.specs) of armed faults that
+  /// fired during this run. Only read after the execution thread
+  /// joined.
+  std::vector<int> FiredFaultIndices() const {
+    std::vector<int> out;
+    for (const auto& f : faults_) {
+      if (f.fired) out.push_back(f.index);
+    }
+    return out;
+  }
+
   int instance_id() const { return instance_id_; }
   int socket() const { return socket_; }
   bool is_spout() const { return spout_ != nullptr; }
   api::Operator* bolt() { return bolt_.get(); }
+  api::Spout* spout() { return spout_.get(); }
+  int op() const { return op_; }
+  int replica() const { return replica_; }
+  const std::string& op_name() const { return op_name_; }
+
+  /// True once an operator call threw (contained as a task failure
+  /// instead of process death). After the acquire-load returns true,
+  /// failure_message() is stable and safe to read from any thread.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  const std::string& failure_message() const { return failure_message_; }
+
+  /// True once an injected stall latched (the task stays scheduled but
+  /// consumes nothing). For tests; the supervisor detects stalls from
+  /// progress counters, not this flag.
+  bool stall_injected() const {
+    return stalled_.load(std::memory_order_relaxed);
+  }
 
   /// Live-migration harvest: moves the operator instance (and its
   /// state) out of this task so a successor task for the same
@@ -236,6 +279,24 @@ class Task : public api::OutputCollector, public api::PipelineSink {
   /// Legacy per-tuple overhead work (§5.1's eliminated footprint).
   void LegacyPerTupleWork(const Tuple& t);
 
+  /// Throws when an armed crash/throw fault crosses its progress
+  /// trigger — always called from inside a containment region.
+  void MaybeThrowInjected();
+
+  /// Latches (and returns) the stalled state, firing armed stall
+  /// faults that crossed their trigger.
+  bool StallInjected();
+
+  /// Confiscates `env` when an armed wedge-push fault fires: the
+  /// envelope parks at the head of pending_ and is never retried, so
+  /// pending_live() stays nonzero forever (the drain-deadlock
+  /// scenario). Returns true when it fired.
+  bool MaybeWedgePush(Envelope& env, Channel* channel);
+
+  /// Publishes an operator failure: operator name + replica + cause,
+  /// then the failed_ release-store.
+  void RecordFailure(const std::string& what);
+
   int instance_id_;
   int socket_;
   EngineConfig config_;
@@ -289,6 +350,23 @@ class Task : public api::OutputCollector, public api::PipelineSink {
   size_t pending_head_ = 0;
   /// pending_.size() - pending_head_, mirrored for cross-thread reads.
   RelaxedCounter pending_live_;
+
+  // Replica identity + injected-fault state (engine/fault.h).
+  int op_ = -1;
+  int replica_ = 0;
+  std::string op_name_;
+  struct ArmedFault {
+    int index = -1;  ///< spec index in EngineConfig::faults.specs
+    FaultSpec spec;
+    bool fired = false;
+  };
+  std::vector<ArmedFault> faults_;
+  /// pending_ index a fired wedge-push parked its envelope at;
+  /// TryDrainPending never advances past it.
+  size_t wedged_slot_ = ~size_t{0};
+  std::atomic<bool> stalled_{false};
+  std::atomic<bool> failed_{false};
+  std::string failure_message_;
 
   // Spout rate limiting.
   double tokens_ = 0.0;

@@ -80,6 +80,23 @@ class FusedChainBolt : public api::Operator {
     members_.back()->ImportKeyedState(std::move(entries));
   }
 
+  std::vector<api::CheckpointEntry> SnapshotKeyedState() override {
+    std::vector<api::CheckpointEntry> all;
+    for (auto& m : members_) {
+      auto part = m->SnapshotKeyedState();
+      for (auto& e : part) all.push_back(std::move(e));
+    }
+    return all;
+  }
+
+  void RestoreKeyedState(std::vector<api::CheckpointEntry> entries) override {
+    // Same fan-out as ImportKeyedState: at most one member is stateful.
+    for (size_t i = 0; i + 1 < members_.size(); ++i) {
+      members_[i]->RestoreKeyedState(entries);
+    }
+    members_.back()->RestoreKeyedState(std::move(entries));
+  }
+
  private:
   /// Forwards emissions of member `next-1` into member `next` (or the
   /// real collector past the end). Intermediate named streams collapse
@@ -138,6 +155,12 @@ class FusedChainSpout : public api::Spout {
     InlineCollector inline_out(chain_.get(), out);
     return head_->NextBatch(max_tuples, &inline_out);
   }
+
+  // Replay rides on the head spout; the fused bolts are downstream of
+  // the replay point and simply re-process the replayed tuples.
+  bool Replayable() const override { return head_->Replayable(); }
+  uint64_t Position() const override { return head_->Position(); }
+  bool Rewind(uint64_t position) override { return head_->Rewind(position); }
 
  private:
   std::unique_ptr<api::Spout> head_;

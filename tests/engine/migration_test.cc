@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -28,6 +29,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "engine/runtime.h"
+#include "engine/supervisor.h"
 #include "model/execution_plan.h"
 #include "optimizer/dynamic.h"
 
@@ -370,6 +372,114 @@ TEST(MigrationTest, RandomizedMigrationsPreserveInvariants) {
   EXPECT_EQ(stats.migrations, applied);
   EXPECT_GT(applied, 0);
   CheckInvariants(run, stats, 10);
+}
+
+// ------------------- injected failures inside the migration protocol
+//
+// ApplyMigration must be complete-or-rollback: a failure before the
+// point of no return leaves the old graph running with zero tuple
+// loss; a failure after it declares the job dead (no half-migrated
+// zombie), and the supervisor restores it from the last checkpoint.
+
+TEST(MigrationTest, InjectedFailureBeforePauseIsCleanReject) {
+  EngineConfig config = TestConfig(ExecutorKind::kWorkerPool);
+  config.faults.FailMigration(/*at_phase=*/0);
+  WcRun run = MakeWcRun({1, 1, 1, 1, 1}, config, WordCountParams{});
+  ASSERT_TRUE(run.rt->Start().ok());
+  SleepMs(100);
+  const Status st = run.rt->ApplyMigration(Move(run.plan, kSplitter, 0, 1));
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("undisturbed"), std::string::npos);
+  EXPECT_EQ(run.rt->epoch(), 0);
+  const uint64_t before = run.telemetry->count();
+  SleepMs(150);
+  EXPECT_GT(run.telemetry->count(), before);  // never paused
+  RunStats stats = run.rt->Stop();
+  EXPECT_EQ(stats.migrations, 0);
+  CheckInvariants(run, stats, 10);
+}
+
+TEST(MigrationTest, InjectedFailureAfterPauseRollsBackWithoutLoss) {
+  EngineConfig config = TestConfig(ExecutorKind::kWorkerPool);
+  config.faults.FailMigration(/*at_phase=*/1);
+  WordCountParams params;
+  params.max_sentences = 4000;  // bounded: the run has an exact answer
+  WcRun run = MakeWcRun({1, 1, 2, 2, 1}, config, params);
+  ASSERT_TRUE(run.rt->Start().ok());
+  SleepMs(60);
+  const Status st = run.rt->ApplyMigration(Grow(run.plan, kCounter, 1, 0));
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("rolled back"), std::string::npos);
+  // Rolled back: old plan, old epoch, still running.
+  EXPECT_EQ(run.rt->epoch(), 0);
+  EXPECT_EQ(run.rt->plan().replication(kCounter), 2);
+  const uint64_t expected = 4000 * 10;
+  for (int i = 0; i < 200 && run.telemetry->count() < expected; ++i) {
+    SleepMs(50);
+  }
+  RunStats stats = run.rt->Stop();
+  EXPECT_EQ(stats.migrations, 0);
+  EXPECT_EQ(run.telemetry->count(), expected);  // zero loss through it
+  CheckInvariants(run, stats, 10);
+}
+
+TEST(MigrationTest, InjectedFailureAfterRebuildIsRecoveredFromCheckpoint) {
+  EngineConfig config = TestConfig(ExecutorKind::kWorkerPool);
+  config.faults.FailMigration(/*at_phase=*/2);
+  WordCountParams params;
+  params.max_sentences = 4000;
+  WcRun run = MakeWcRun({1, 1, 2, 2, 1}, config, params);
+  ASSERT_TRUE(run.rt->Start().ok());
+  SupervisorOptions sup_opts;
+  sup_opts.heartbeat_interval_s = 0.02;
+  sup_opts.checkpoint_interval_s = 0.03;
+  sup_opts.backoff_initial_s = 0.01;
+  Supervisor sup(run.rt.get(), sup_opts);
+  ASSERT_TRUE(sup.Start().ok());
+  SleepMs(80);
+
+  const Status st = run.rt->ApplyMigration(Grow(run.plan, kCounter, 1, 0));
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("job down"), std::string::npos);
+
+  // The supervisor notices the dead engine and restores the last
+  // checkpoint (taken on the *old* plan); the bounded run completes.
+  const uint64_t expected = 4000 * 10;
+  auto state_complete = [&run] {
+    std::lock_guard<std::mutex> lock(run.log->mu);
+    std::map<std::string, int64_t> max_count;
+    for (const auto& [word, count] : run.log->entries) {
+      int64_t& m = max_count[word];
+      if (count > m) m = count;
+    }
+    uint64_t sum = 0;
+    for (const auto& [word, m] : max_count) sum += static_cast<uint64_t>(m);
+    return sum;
+  };
+  for (int i = 0; i < 400 && state_complete() < expected; ++i) {
+    SleepMs(50);
+  }
+  SupervisionReport sup_report = sup.Stop();
+  RunStats stats = run.rt->Stop();
+  EXPECT_GE(sup_report.restarts, 1);
+  EXPECT_GE(stats.restores, 1);
+
+  // Zero tuple loss under replay: gap-free dense counts per word and
+  // the exact full-stream total in final state (duplicate deliveries
+  // from the replayed window are allowed; lost ones are not).
+  std::lock_guard<std::mutex> lock(run.log->mu);
+  std::map<std::string, std::set<int64_t>> counts;
+  for (const auto& [word, count] : run.log->entries) {
+    counts[word].insert(count);
+  }
+  uint64_t total = 0;
+  for (const auto& [word, seen] : counts) {
+    const int64_t max = *seen.rbegin();
+    EXPECT_EQ(static_cast<int64_t>(seen.size()), max)
+        << "word '" << word << "' has gaps in 1.." << max;
+    total += static_cast<uint64_t>(max);
+  }
+  EXPECT_EQ(total, expected);
 }
 
 }  // namespace

@@ -1,0 +1,439 @@
+// Supervised crash recovery: checkpoint → fault → detect → restore →
+// replay, proven by differential checks.
+//
+// The strong invariants on a recovered word_count run are baseline-free:
+//   - gap-free counting: for every word, the distinct counts the sink
+//     saw are exactly {1..max} — a lost keyed-state update or a lost
+//     tuple leaves a hole, a state restart re-counts from 1 but cannot
+//     *extend* the set past its true max;
+//   - exactness: sum of per-word max counts == the bounded stream's
+//     total word population — the final state is the full stream
+//     applied exactly once;
+//   - bounded at-least-once: sink arrivals beyond the population are
+//     duplicates, and there are at most replayed_sentences x
+//     words_per_sentence of them (the checkpoint-interval window).
+//
+// spike_detection (a windowed, floating-point aggregate) is checked
+// differentially against a clean run of the same seed: the faulty
+// run's sink multiset must contain the clean run's (zero loss), stay
+// within its key set (replay is bit-identical), and exceed it by at
+// most the replayed window (bounded duplication).
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/job.h"
+#include "apps/spike_detection.h"
+#include "apps/word_count.h"
+#include "common/logging.h"
+#include "engine/checkpoint.h"
+#include "engine/fault.h"
+#include "engine/runtime.h"
+#include "engine/supervisor.h"
+#include "model/execution_plan.h"
+
+namespace brisk::engine {
+namespace {
+
+using apps::SpikeDetectionParams;
+using apps::WordCountParams;
+using model::ExecutionPlan;
+
+constexpr int kParser = 1;
+constexpr int kSplitter = 2;
+constexpr int kCounter = 3;
+constexpr int kMovingAvg = 2;  // SD topology
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// ---------------------------------------------------------------- WC
+
+struct WcTap {
+  std::mutex mu;
+  std::vector<std::pair<std::string, int64_t>> entries;
+};
+
+struct WcRun {
+  std::shared_ptr<SinkTelemetry> telemetry;
+  std::shared_ptr<WcTap> tap;
+  std::shared_ptr<const api::Topology> topo;
+  std::unique_ptr<BriskRuntime> rt;
+};
+
+WcRun MakeWc(std::vector<int> replication, EngineConfig config,
+             WordCountParams params) {
+  WcRun run;
+  run.telemetry = std::make_shared<SinkTelemetry>();
+  run.tap = std::make_shared<WcTap>();
+  auto tap = run.tap;
+  auto topo = apps::BuildWordCountDsl(
+      run.telemetry, params, [tap](const Tuple& in) {
+        std::lock_guard<std::mutex> lock(tap->mu);
+        tap->entries.emplace_back(std::string(in.GetString(0)), in.GetInt(1));
+      });
+  BRISK_CHECK(topo.ok()) << topo.status().ToString();
+  run.topo = std::make_shared<const api::Topology>(std::move(topo).value());
+  auto plan_or = ExecutionPlan::Create(run.topo.get(), std::move(replication));
+  BRISK_CHECK(plan_or.ok()) << plan_or.status().ToString();
+  ExecutionPlan plan = std::move(plan_or).value();
+  for (int i = 0; i < plan.num_instances(); ++i) plan.SetSocket(i, i % 2);
+  auto rt = BriskRuntime::Create(run.topo.get(), plan, config);
+  BRISK_CHECK(rt.ok()) << rt.status().ToString();
+  run.rt = std::move(rt).value();
+  return run;
+}
+
+EngineConfig RecoveryConfig(ExecutorKind executor) {
+  EngineConfig config;
+  config.executor = executor;
+  config.batch_size = 16;
+  config.spout_rate_tps = 30000;
+  config.seed = 23;
+  config.drain_timeout_s = 2.0;
+  return config;
+}
+
+SupervisorOptions FastSupervision() {
+  SupervisorOptions opts;
+  opts.heartbeat_interval_s = 0.02;
+  opts.checkpoint_interval_s = 0.03;
+  opts.backoff_initial_s = 0.01;
+  return opts;
+}
+
+/// Sum over words of the max count seen — reaches the stream's word
+/// population exactly when every tuple has been counted and delivered.
+uint64_t SumOfMaxCounts(WcTap* tap) {
+  std::lock_guard<std::mutex> lock(tap->mu);
+  std::map<std::string, int64_t> max_count;
+  for (const auto& [word, count] : tap->entries) {
+    int64_t& m = max_count[word];
+    if (count > m) m = count;
+  }
+  uint64_t sum = 0;
+  for (const auto& [word, m] : max_count) sum += static_cast<uint64_t>(m);
+  return sum;
+}
+
+/// The baseline-free zero-loss postcondition (see file header).
+void CheckWcRecovered(WcTap* tap, uint64_t expected_words,
+                      uint64_t replayed_sentences,
+                      uint64_t words_per_sentence) {
+  std::lock_guard<std::mutex> lock(tap->mu);
+  std::map<std::string, std::set<int64_t>> counts;
+  for (const auto& [word, count] : tap->entries) {
+    counts[word].insert(count);
+  }
+  uint64_t total = 0;
+  for (const auto& [word, seen] : counts) {
+    const int64_t max = *seen.rbegin();
+    EXPECT_EQ(static_cast<int64_t>(seen.size()), max)
+        << "word '" << word << "' has gaps in 1.." << max;
+    EXPECT_EQ(*seen.begin(), 1) << "word '" << word << "'";
+    total += static_cast<uint64_t>(max);
+  }
+  EXPECT_EQ(total, expected_words) << "final state != full stream";
+  // At-least-once, bounded: duplicates only come from the replay
+  // window (some of the window's re-emissions replace in-flight
+  // arrivals the halt discarded, so <=, not ==).
+  ASSERT_GE(tap->entries.size(), expected_words);
+  EXPECT_LE(tap->entries.size() - expected_words,
+            replayed_sentences * words_per_sentence);
+}
+
+/// Kills (op, replica) mid-run via injected crash, supervises, and
+/// asserts full recovery of the bounded WC stream.
+void RunWcKillAndRecover(ExecutorKind executor, int op, int replica,
+                         uint64_t after_tuples) {
+  SCOPED_TRACE(std::string(ExecutorKindName(executor)) + " kill op " +
+               std::to_string(op) + " replica " + std::to_string(replica));
+  WordCountParams params;
+  params.max_sentences = 1500;  // bounded: the run has an exact answer
+  const uint64_t expected = params.max_sentences * params.words_per_sentence;
+  EngineConfig config = RecoveryConfig(executor);
+  config.faults.Crash(op, replica, after_tuples);
+  WcRun run = MakeWc({1, 1, 2, 2, 1}, config, params);
+  ASSERT_TRUE(run.rt->Start().ok());
+  Supervisor sup(run.rt.get(), FastSupervision());
+  ASSERT_TRUE(sup.Start().ok());
+
+  // Completion == the final keyed state equals the full stream's.
+  for (int waited = 0; waited < 20000 && SumOfMaxCounts(run.tap.get()) <
+                                             expected;
+       waited += 20) {
+    SleepMs(20);
+  }
+  SupervisionReport report = sup.Stop();
+  RunStats stats = run.rt->Stop();
+
+  EXPECT_GE(report.failures_detected, 1);
+  EXPECT_GE(report.restarts, 1);
+  EXPECT_GE(stats.restores, 1);
+  EXPECT_GE(stats.checkpoints, 1);
+  EXPECT_TRUE(report.final_status.ok()) << report.final_status.ToString();
+  ASSERT_FALSE(report.recoveries.empty());
+  EXPECT_TRUE(report.recoveries[0].succeeded)
+      << report.recoveries[0].error;
+  CheckWcRecovered(run.tap.get(), expected, report.replayed_tuples,
+                   params.words_per_sentence);
+}
+
+TEST(RecoveryTest, WordCountSurvivesParserCrash) {
+  for (const ExecutorKind executor :
+       {ExecutorKind::kWorkerPool, ExecutorKind::kThreadPerTask}) {
+    RunWcKillAndRecover(executor, kParser, 0, 700);
+  }
+}
+
+TEST(RecoveryTest, WordCountSurvivesSplitterCrash) {
+  for (const ExecutorKind executor :
+       {ExecutorKind::kWorkerPool, ExecutorKind::kThreadPerTask}) {
+    RunWcKillAndRecover(executor, kSplitter, 1, 300);
+  }
+}
+
+TEST(RecoveryTest, WordCountSurvivesEitherCounterReplicaCrash) {
+  for (const ExecutorKind executor :
+       {ExecutorKind::kWorkerPool, ExecutorKind::kThreadPerTask}) {
+    RunWcKillAndRecover(executor, kCounter, 0, 3000);
+    RunWcKillAndRecover(executor, kCounter, 1, 3000);
+  }
+}
+
+// ---------------------------------------------------------------- SD
+
+using SdMultiset = std::map<std::pair<int64_t, int64_t>, uint64_t>;
+
+struct SdTap {
+  std::mutex mu;
+  SdMultiset tuples;
+  uint64_t total = 0;
+};
+
+struct SdRun {
+  std::shared_ptr<SinkTelemetry> telemetry;
+  std::shared_ptr<SdTap> tap;
+  std::shared_ptr<const api::Topology> topo;
+  std::unique_ptr<BriskRuntime> rt;
+};
+
+SdRun MakeSd(EngineConfig config, SpikeDetectionParams params) {
+  SdRun run;
+  run.telemetry = std::make_shared<SinkTelemetry>();
+  run.tap = std::make_shared<SdTap>();
+  auto tap = run.tap;
+  auto topo = apps::BuildSpikeDetectionDsl(
+      run.telemetry, params, [tap](const Tuple& in) {
+        std::lock_guard<std::mutex> lock(tap->mu);
+        ++tap->tuples[{in.GetInt(0), in.GetInt(1)}];
+        ++tap->total;
+      });
+  BRISK_CHECK(topo.ok()) << topo.status().ToString();
+  run.topo = std::make_shared<const api::Topology>(std::move(topo).value());
+  // Spout and parser stay at parallelism 1 so the per-device reading
+  // order (what the sliding window averages over) is identical across
+  // runs; the stateful moving_avg is the replicated one under test.
+  auto plan_or = ExecutionPlan::Create(run.topo.get(), {1, 1, 2, 1, 1});
+  BRISK_CHECK(plan_or.ok()) << plan_or.status().ToString();
+  ExecutionPlan plan = std::move(plan_or).value();
+  for (int i = 0; i < plan.num_instances(); ++i) plan.SetSocket(i, i % 2);
+  auto rt = BriskRuntime::Create(run.topo.get(), plan, config);
+  BRISK_CHECK(rt.ok()) << rt.status().ToString();
+  run.rt = std::move(rt).value();
+  return run;
+}
+
+SpikeDetectionParams SdParams() {
+  SpikeDetectionParams params;
+  params.num_devices = 64;
+  params.window = 8;
+  params.max_readings = 8000;
+  return params;
+}
+
+/// true iff every (device, flag) pair appears in `big` at least as
+/// often as in `small`.
+bool Contains(const SdMultiset& big, const SdMultiset& small) {
+  for (const auto& [key, n] : small) {
+    auto it = big.find(key);
+    if (it == big.end() || it->second < n) return false;
+  }
+  return true;
+}
+
+TEST(RecoveryTest, SpikeDetectionRecoversWindowsBitExact) {
+  for (const ExecutorKind executor :
+       {ExecutorKind::kWorkerPool, ExecutorKind::kThreadPerTask}) {
+    SCOPED_TRACE(ExecutorKindName(executor));
+    const SpikeDetectionParams params = SdParams();
+
+    // Clean reference run of the same seed, to completion.
+    SdMultiset clean;
+    {
+      SdRun run = MakeSd(RecoveryConfig(executor), params);
+      ASSERT_TRUE(run.rt->Start().ok());
+      for (int waited = 0;
+           waited < 20000 && run.telemetry->count() < params.max_readings;
+           waited += 20) {
+        SleepMs(20);
+      }
+      (void)run.rt->Stop();
+      std::lock_guard<std::mutex> lock(run.tap->mu);
+      ASSERT_EQ(run.tap->total, params.max_readings);
+      clean = run.tap->tuples;
+    }
+
+    // Faulty run: kill one moving_avg replica mid-stream, recover.
+    EngineConfig config = RecoveryConfig(executor);
+    config.faults.Crash(kMovingAvg, /*replica=*/0, /*after_tuples=*/2000);
+    SdRun run = MakeSd(config, params);
+    ASSERT_TRUE(run.rt->Start().ok());
+    Supervisor sup(run.rt.get(), FastSupervision());
+    ASSERT_TRUE(sup.Start().ok());
+    auto done = [&] {
+      std::lock_guard<std::mutex> lock(run.tap->mu);
+      return run.tap->total >= params.max_readings &&
+             Contains(run.tap->tuples, clean);
+    };
+    for (int waited = 0; waited < 20000 && !done(); waited += 20) {
+      SleepMs(20);
+    }
+    SupervisionReport report = sup.Stop();
+    RunStats stats = run.rt->Stop();
+
+    EXPECT_GE(report.restarts, 1);
+    EXPECT_GE(stats.restores, 1);
+    std::lock_guard<std::mutex> lock(run.tap->mu);
+    // Zero loss: every clean tuple arrived at least once.
+    EXPECT_TRUE(Contains(run.tap->tuples, clean));
+    // Bit-exact replay: nothing outside the clean run's key set — a
+    // wrongly restored window would shift an average and flip a flag
+    // into a (device, flag) pair the clean run never produced... both
+    // flags per device usually occur, so additionally bound the
+    // duplicate count: total overshoot <= replayed readings.
+    for (const auto& [key, n] : run.tap->tuples) {
+      auto it = clean.find(key);
+      ASSERT_NE(it, clean.end())
+          << "pair (" << key.first << ", " << key.second
+          << ") never occurs in the clean run";
+      EXPECT_GE(n, it->second);
+    }
+    ASSERT_GE(run.tap->total, params.max_readings);
+    EXPECT_LE(run.tap->total - params.max_readings, report.replayed_tuples);
+  }
+}
+
+// ------------------------------------------------- direct API checks
+
+TEST(RecoveryTest, CheckpointRoundTripsThroughCodecAndRestores) {
+  WordCountParams params;
+  WcRun run = MakeWc({1, 1, 1, 2, 1},
+                     RecoveryConfig(ExecutorKind::kWorkerPool), params);
+  ASSERT_TRUE(run.rt->Start().ok());
+  SleepMs(150);
+
+  auto cp = run.rt->Checkpoint();
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  EXPECT_GT(cp->TotalEntries(), 0u);
+  ASSERT_EQ(cp->positions.size(), 1u);
+  EXPECT_TRUE(cp->positions[0].replayable);
+  EXPECT_GT(cp->positions[0].position, 0u);
+
+  std::vector<uint8_t> bytes;
+  SerializeCheckpoint(*cp, &bytes);
+  auto decoded = DeserializeCheckpoint(bytes, cp->plan);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->epoch, cp->epoch);
+  EXPECT_EQ(decoded->TotalEntries(), cp->TotalEntries());
+  ASSERT_EQ(decoded->positions.size(), 1u);
+  EXPECT_EQ(decoded->positions[0].position, cp->positions[0].position);
+
+  // Restoring the decoded snapshot onto the live job rewinds it; the
+  // run keeps going from the checkpoint.
+  uint64_t replayed = 0;
+  ASSERT_TRUE(run.rt->Restore(decoded.value(), &replayed).ok());
+  const uint64_t before = run.telemetry->count();
+  SleepMs(200);
+  EXPECT_GT(run.telemetry->count(), before);
+  RunStats stats = run.rt->Stop();
+  EXPECT_EQ(stats.checkpoints, 1);
+  EXPECT_EQ(stats.restores, 1);
+}
+
+TEST(RecoveryTest, CorruptCheckpointIsRejectedAndJobKeepsRunning) {
+  WcRun run = MakeWc({1, 1, 1, 1, 1},
+                     RecoveryConfig(ExecutorKind::kWorkerPool),
+                     WordCountParams{});
+  ASSERT_TRUE(run.rt->Start().ok());
+  SleepMs(100);
+  auto cp = run.rt->Checkpoint();
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  JobCheckpoint corrupt = std::move(cp).value();
+  corrupt.positions[0].op = kCounter;  // not a source
+  EXPECT_FALSE(run.rt->Restore(corrupt, nullptr).ok());
+  const uint64_t before = run.telemetry->count();
+  SleepMs(150);
+  EXPECT_GT(run.telemetry->count(), before);  // untouched, still live
+  RunStats stats = run.rt->Stop();
+  EXPECT_EQ(stats.restores, 0);
+}
+
+TEST(RecoveryTest, CircuitBreakerOpensAfterRestartBudget) {
+  EngineConfig config = RecoveryConfig(ExecutorKind::kWorkerPool);
+  config.faults.Crash(kParser, 0, 200);
+  WcRun run = MakeWc({1, 1, 1, 1, 1}, config, WordCountParams{});
+  ASSERT_TRUE(run.rt->Start().ok());
+  SupervisorOptions opts = FastSupervision();
+  opts.max_restarts = 0;  // the first failure exhausts the budget
+  Supervisor sup(run.rt.get(), opts);
+  ASSERT_TRUE(sup.Start().ok());
+  for (int waited = 0;
+       waited < 10000 && sup.Snapshot().final_status.ok(); waited += 10) {
+    SleepMs(10);
+  }
+  SupervisionReport report = sup.Stop();
+  EXPECT_FALSE(report.final_status.ok());
+  EXPECT_NE(report.final_status.ToString().find("circuit breaker"),
+            std::string::npos);
+  EXPECT_EQ(report.restarts, 0);
+  EXPECT_GE(report.failures_detected, 1);
+  (void)run.rt->Stop();
+}
+
+TEST(RecoveryTest, JobFacadeSupervisesAndReportsRecovery) {
+  auto telemetry = std::make_shared<SinkTelemetry>();
+  EngineConfig config = EngineConfig::Brisk();
+  config.spout_rate_tps = 40000;
+  config.faults.Crash(kCounter, 0, 2000);
+  auto report = Job::Of(apps::BuildWordCountDsl(telemetry).value())
+                    .WithTelemetry(telemetry)
+                    .WithProfiles(apps::WordCountProfiles())
+                    .WithConfig(config)
+                    .WithSeed(5)
+                    .WithCheckpointing(0.05)
+                    .Run(1.5);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->supervision.checkpoints, 1);
+  EXPECT_GE(report->supervision.failures_detected, 1);
+  EXPECT_GE(report->supervision.restarts, 1);
+  EXPECT_GE(report->stats.restores, 1);
+  EXPECT_TRUE(report->supervision.final_status.ok())
+      << report->supervision.final_status.ToString();
+  EXPECT_GT(report->sink_tuples, 0u);
+  // The human-readable report mentions the recovery.
+  EXPECT_NE(report->ToString().find("fault tolerance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace brisk::engine
