@@ -1,0 +1,354 @@
+// Ingest/egress throughput: what does reading from the outside world
+// cost, relative to the in-process spout the paper benchmarks with?
+//
+//   - File endpoint: the same kernelized word_count, fed once by the
+//     synthetic SentenceSpout (baseline) and once by the shared-mmap
+//     file source in loop mode (sustained read), at source replication
+//     1 / 4 / 8. Reported as sink words/s, source sentences/s, and
+//     file bytes/s. Gates: at replication 4 the file source must reach
+//     at least 0.5x the spout baseline, and the whole run must cost
+//     exactly ONE mmap call with ONE live mapping (the no-redundant-
+//     copies claim, asserted via io::GetMappingCounters).
+//   - TCP endpoint: a loopback producer writes newline-framed records
+//     as fast as the socket accepts them; the engine pulls them
+//     through a FromSocket -> Sink pipeline. Reported as records/s and
+//     payload bytes/s; the gate is zero record loss once the producer
+//     finishes (back-pressure parks the reader, it never drops).
+//
+//   $ ./bench/bench_ingest [--quick] [--out BENCH_ingest.json]
+//
+// Exits nonzero when any gate fails.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/word_count.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "engine/runtime.h"
+#include "io/io.h"
+#include "model/execution_plan.h"
+
+using namespace brisk;
+
+namespace {
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Synthetic corpus: `sentences` lines of ten dictionary words, the
+/// SentenceSpout shape, so both feeds exercise identical downstream
+/// work.
+std::string WriteCorpus(const std::string& path, uint64_t sentences) {
+  std::vector<std::string> lines;
+  lines.reserve(sentences);
+  uint64_t x = 88172645463325252ull;
+  for (uint64_t i = 0; i < sentences; ++i) {
+    std::string line;
+    for (int w = 0; w < 10; ++w) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      if (w) line += ' ';
+      line += "word" + std::to_string(x % 4096);
+    }
+    lines.push_back(std::move(line));
+  }
+  BRISK_CHECK_OK(io::WriteRecordFile(path, io::RecordCodec::kText, lines));
+  return path;
+}
+
+uint64_t FileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  BRISK_CHECK(f != nullptr) << path;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return static_cast<uint64_t>(size);
+}
+
+engine::EngineConfig BenchConfig() {
+  engine::EngineConfig config;  // native Brisk defaults
+  config.spout_rate_tps = 0.0;  // saturated
+  config.drain_timeout_s = 0.5;
+  return config;
+}
+
+/// Deploys `topo` at the given replication vector, runs it saturated,
+/// and returns steady-state sink tuples/s (word emissions for WC).
+/// `mid_run` is sampled between warmup and measurement.
+double MeasureSinkTps(std::shared_ptr<const api::Topology> topo,
+                      const std::shared_ptr<SinkTelemetry>& telemetry,
+                      const std::vector<int>& replication, double seconds,
+                      const std::function<void()>& mid_run = nullptr) {
+  auto plan_or = model::ExecutionPlan::Create(topo.get(), replication);
+  BRISK_CHECK(plan_or.ok()) << plan_or.status().ToString();
+  model::ExecutionPlan plan = std::move(plan_or).value();
+  for (int i = 0; i < plan.num_instances(); ++i) plan.SetSocket(i, 0);
+  auto rt_or = engine::BriskRuntime::Create(topo.get(), plan, BenchConfig());
+  BRISK_CHECK(rt_or.ok()) << rt_or.status().ToString();
+  auto rt = std::move(rt_or).value();
+  BRISK_CHECK(rt->Start().ok());
+  SleepMs(static_cast<int>(seconds * 250));  // warmup
+  if (mid_run) mid_run();
+  const uint64_t c0 = telemetry->count();
+  const auto t0 = std::chrono::steady_clock::now();
+  SleepMs(static_cast<int>(seconds * 1000));
+  const uint64_t c1 = telemetry->count();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  (void)rt->Stop();
+  return static_cast<double>(c1 - c0) / dt;
+}
+
+struct FilePoint {
+  int replication = 1;
+  double file_words_tps = 0.0;
+  double spout_words_tps = 0.0;
+  double sentences_tps = 0.0;
+  double bytes_per_s = 0.0;
+  double ratio = 0.0;
+  uint64_t map_calls = 0;       ///< mmap calls this run (must be 1)
+  uint64_t active_mappings = 0; ///< live mappings mid-run (must be 1)
+};
+
+FilePoint MeasureFile(const std::string& corpus, uint64_t sentences,
+                      int replication, double seconds) {
+  const uint64_t corpus_bytes = FileBytes(corpus);
+  const std::vector<int> reps = {replication, 2, 2, 2, 1};
+
+  // Baseline: the in-process synthetic spout, same replication.
+  auto spout_telemetry = std::make_shared<SinkTelemetry>();
+  auto spout_topo_or = apps::BuildWordCountDsl(spout_telemetry, {});
+  BRISK_CHECK(spout_topo_or.ok()) << spout_topo_or.status().ToString();
+  auto spout_topo = std::make_shared<const api::Topology>(
+      std::move(spout_topo_or).value());
+  const double spout_tps =
+      MeasureSinkTps(spout_topo, spout_telemetry, reps, seconds);
+
+  // File source in loop mode: sustained mmap read of the same shape.
+  io::FileSourceOptions src;
+  src.path = corpus;
+  src.codec = io::RecordCodec::kText;
+  src.partition = io::FileSourceOptions::Partition::kRange;
+  src.loop = true;
+  auto file_telemetry = std::make_shared<SinkTelemetry>();
+  auto file_pipe = apps::BuildFileWordCountDsl(file_telemetry, src);
+  auto file_topo_or = std::move(file_pipe).Build();
+  BRISK_CHECK(file_topo_or.ok()) << file_topo_or.status().ToString();
+  auto file_topo = std::make_shared<const api::Topology>(
+      std::move(file_topo_or).value());
+
+  FilePoint point;
+  const uint64_t maps_before = io::GetMappingCounters().map_calls;
+  point.file_words_tps =
+      MeasureSinkTps(file_topo, file_telemetry, reps, seconds, [&point] {
+        point.active_mappings = io::GetMappingCounters().active;
+      });
+  point.map_calls = io::GetMappingCounters().map_calls - maps_before;
+
+  point.replication = replication;
+  point.spout_words_tps = spout_tps;
+  point.sentences_tps = point.file_words_tps / 10.0;
+  point.bytes_per_s = point.sentences_tps *
+                      (static_cast<double>(corpus_bytes) /
+                       static_cast<double>(sentences));
+  point.ratio =
+      spout_tps > 0 ? point.file_words_tps / spout_tps : 0.0;
+  return point;
+}
+
+struct TcpPoint {
+  double records_tps = 0.0;
+  double bytes_per_s = 0.0;
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t max_buffered = 0;  ///< user-space back-pressure high-water
+};
+
+TcpPoint MeasureTcp(double seconds) {
+  io::TcpSource::ResetMaxBufferedBytes();
+  auto listener = std::make_shared<io::TcpListener>("127.0.0.1", 0);
+  BRISK_CHECK_OK(listener->EnsureOpen());
+
+  auto telemetry = std::make_shared<SinkTelemetry>();
+  io::TcpSourceOptions opts;
+  opts.codec = io::RecordCodec::kText;
+  dsl::Pipeline p("tcp-ingest");
+  p.FromSocket("spout", listener, opts).Sink("sink", [telemetry](
+                                                         const Tuple& in) {
+    telemetry->RecordTuple(in.origin_ts_ns, apps::NowNs());
+  });
+  auto topo_or = std::move(p).Build();
+  BRISK_CHECK(topo_or.ok()) << topo_or.status().ToString();
+  auto topo =
+      std::make_shared<const api::Topology>(std::move(topo_or).value());
+  auto plan_or = model::ExecutionPlan::Create(topo.get(), {1, 1});
+  BRISK_CHECK(plan_or.ok()) << plan_or.status().ToString();
+  model::ExecutionPlan plan = std::move(plan_or).value();
+  for (int i = 0; i < plan.num_instances(); ++i) plan.SetSocket(i, 0);
+  auto rt_or = engine::BriskRuntime::Create(topo.get(), plan, BenchConfig());
+  BRISK_CHECK(rt_or.ok()) << rt_or.status().ToString();
+  auto rt = std::move(rt_or).value();
+  BRISK_CHECK(rt->Start().ok());
+
+  // Loopback producer: one connection, framed records written as fast
+  // as the receiver's back-pressure admits them.
+  std::vector<uint8_t> chunk;
+  constexpr uint64_t kRecordsPerChunk = 1024;
+  for (uint64_t i = 0; i < kRecordsPerChunk; ++i) {
+    io::AppendRecord(io::RecordCodec::kText,
+                     "payload record number " + std::to_string(i), &chunk);
+  }
+  auto fd_or = io::TcpConnect("127.0.0.1", listener->port());
+  BRISK_CHECK(fd_or.ok()) << fd_or.status().ToString();
+
+  TcpPoint point;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() < deadline) {
+    size_t off = 0;
+    while (off < chunk.size()) {
+      const ssize_t n =
+          ::write(fd_or.value(), chunk.data() + off, chunk.size() - off);
+      BRISK_CHECK(n > 0) << "loopback write failed";
+      off += static_cast<size_t>(n);
+    }
+    point.sent += kRecordsPerChunk;
+  }
+  const double send_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ::close(fd_or.value());
+
+  // Drain: the producer is done; every record it pushed must arrive.
+  for (int waited = 0; waited < 10000 && telemetry->count() < point.sent;
+       waited += 10) {
+    SleepMs(10);
+  }
+  point.received = telemetry->count();
+  (void)rt->Stop();
+
+  point.records_tps = static_cast<double>(point.sent) / send_s;
+  point.bytes_per_s =
+      static_cast<double>(point.sent) *
+      (static_cast<double>(chunk.size()) / kRecordsPerChunk) / send_s;
+  point.max_buffered = io::TcpSource::MaxBufferedBytes();
+  return point;
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_ingest.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  bench::Banner("ingest", "mmap file + TCP ingest vs in-process spout");
+
+  const uint64_t sentences = quick ? 20000 : 100000;
+  const double seconds = quick ? 0.4 : 1.2;
+  const std::string corpus =
+      WriteCorpus("/tmp/bench_ingest_corpus.txt", sentences);
+
+  const std::vector<int> replications = {1, 4, 8};
+  std::vector<FilePoint> file_points;
+  bench::PrintRule({6, 14, 14, 14, 12, 8, 10});
+  bench::PrintRow({"repl", "file words/s", "spout words/s", "file MB/s",
+                   "ratio", "maps", "active"},
+                  {6, 14, 14, 14, 12, 8, 10});
+  bench::PrintRule({6, 14, 14, 14, 12, 8, 10});
+  for (const int r : replications) {
+    FilePoint p = MeasureFile(corpus, sentences, r, seconds);
+    file_points.push_back(p);
+    bench::PrintRow({std::to_string(r), Fmt(p.file_words_tps),
+                     Fmt(p.spout_words_tps), Fmt(p.bytes_per_s / 1e6),
+                     std::to_string(p.ratio), std::to_string(p.map_calls),
+                     std::to_string(p.active_mappings)},
+                    {6, 14, 14, 14, 12, 8, 10});
+  }
+  bench::PrintRule({6, 14, 14, 14, 12, 8, 10});
+
+  TcpPoint tcp = MeasureTcp(quick ? 0.5 : 1.5);
+  bench::PrintRule({16, 14, 14, 12, 14});
+  bench::PrintRow({"tcp records/s", "tcp MB/s", "sent", "received",
+                   "max buffered"},
+                  {16, 14, 14, 12, 14});
+  bench::PrintRow({Fmt(tcp.records_tps), Fmt(tcp.bytes_per_s / 1e6),
+                   std::to_string(tcp.sent), std::to_string(tcp.received),
+                   std::to_string(tcp.max_buffered)},
+                  {16, 14, 14, 12, 14});
+  bench::PrintRule({16, 14, 14, 12, 14});
+
+  // Gates (see file header).
+  bool ratio_gate = false, mapping_gate = true;
+  for (const FilePoint& p : file_points) {
+    if (p.replication == 4) ratio_gate = p.ratio >= 0.5;
+    mapping_gate =
+        mapping_gate && p.map_calls == 1 && p.active_mappings == 1;
+  }
+  const bool tcp_gate = tcp.sent > 0 && tcp.received == tcp.sent;
+
+  bench::JsonObj root;
+  root.Add("experiment", "ingest").Add("quick", quick);
+  bench::JsonObj file_obj;
+  for (const FilePoint& p : file_points) {
+    bench::JsonObj obj;
+    obj.Add("replication", p.replication)
+        .Add("file_words_per_s", p.file_words_tps)
+        .Add("spout_words_per_s", p.spout_words_tps)
+        .Add("sentences_per_s", p.sentences_tps)
+        .Add("file_bytes_per_s", p.bytes_per_s)
+        .Add("ratio_vs_spout", p.ratio)
+        .Add("mmap_calls", p.map_calls)
+        .Add("active_mappings", p.active_mappings);
+    file_obj.Add("replication_" + std::to_string(p.replication), obj);
+  }
+  root.Add("file", file_obj);
+  bench::JsonObj tcp_obj;
+  tcp_obj.Add("records_per_s", tcp.records_tps)
+      .Add("bytes_per_s", tcp.bytes_per_s)
+      .Add("records_sent", tcp.sent)
+      .Add("records_received", tcp.received)
+      .Add("max_buffered_bytes", tcp.max_buffered)
+      .Add("loss_free", tcp_gate);
+  root.Add("tcp", tcp_obj);
+  bench::JsonObj gates;
+  gates.Add("file_ratio_at_repl4_ge_0p5", ratio_gate)
+      .Add("single_shared_mapping", mapping_gate)
+      .Add("tcp_loss_free", tcp_gate);
+  root.Add("gates", gates);
+  bench::WriteJsonFile(out_path, root);
+
+  if (!ratio_gate) {
+    std::fprintf(stderr, "GATE FAILED: file source < 0.5x spout at repl 4\n");
+  }
+  if (!mapping_gate) {
+    std::fprintf(stderr, "GATE FAILED: expected exactly one shared mapping\n");
+  }
+  if (!tcp_gate) {
+    std::fprintf(stderr, "GATE FAILED: tcp ingest lost records\n");
+  }
+  return ratio_gate && mapping_gate && tcp_gate ? 0 : 1;
+}

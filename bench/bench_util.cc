@@ -164,8 +164,37 @@ namespace {
 std::string JsonQuote(const std::string& s) {
   std::string out = "\"";
   for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
   out += '"';
   return out;
@@ -173,7 +202,7 @@ std::string JsonQuote(const std::string& s) {
 }  // namespace
 
 JsonObj& JsonObj::AddRaw(const std::string& key, std::string raw) {
-  items_.emplace_back(key, std::move(raw));
+  items_.push_back({key, std::move(raw), nullptr});
   return *this;
 }
 
@@ -204,7 +233,8 @@ JsonObj& JsonObj::Add(const std::string& key, bool v) {
 }
 
 JsonObj& JsonObj::Add(const std::string& key, const JsonObj& v) {
-  return AddRaw(key, v.Str(/*indent=*/1));
+  items_.push_back({key, "", std::make_shared<JsonObj>(v)});
+  return *this;
 }
 
 std::string JsonObj::Str(int indent) const {
@@ -213,7 +243,8 @@ std::string JsonObj::Str(int indent) const {
   std::string out = "{";
   for (size_t i = 0; i < items_.size(); ++i) {
     out += i ? ",\n" : "\n";
-    out += pad + JsonQuote(items_[i].first) + ": " + items_[i].second;
+    out += pad + JsonQuote(items_[i].key) + ": ";
+    out += items_[i].obj ? items_[i].obj->Str(indent + 1) : items_[i].raw;
   }
   out += "\n" + close_pad + "}";
   return out;

@@ -2,6 +2,7 @@
 // table/figure — see DESIGN.md §3 for the index).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -80,8 +81,9 @@ void Banner(const std::string& experiment, const std::string& what);
 
 /// Minimal ordered JSON writer for the machine-readable `BENCH_*.json`
 /// files benches emit next to their human-readable tables (insertion
-/// order preserved; no escaping beyond quotes/backslashes — bench keys
-/// and values are plain identifiers and numbers).
+/// order preserved). Strings are fully escaped (quotes, backslashes,
+/// control characters), and nested objects render at their true depth,
+/// so arbitrarily deep structures stay valid JSON.
 class JsonObj {
  public:
   JsonObj& Add(const std::string& key, const std::string& v);
@@ -97,7 +99,17 @@ class JsonObj {
 
  private:
   JsonObj& AddRaw(const std::string& key, std::string raw);
-  std::vector<std::pair<std::string, std::string>> items_;
+
+  /// Scalar items carry their rendered text; nested objects are kept
+  /// as objects and rendered by Str at the actual depth (a pre-
+  /// rendered nested string would bake in one fixed indent and
+  /// mis-indent at any other depth).
+  struct Item {
+    std::string key;
+    std::string raw;
+    std::shared_ptr<const JsonObj> obj;
+  };
+  std::vector<Item> items_;
 };
 
 /// Writes `obj` to `path` with a trailing newline; returns false (and

@@ -216,6 +216,40 @@ Stream Stream::Sink(const std::string& name, SinkFn fn) const {
   });
 }
 
+Stream Stream::Operate(const std::string& name,
+                       api::OperatorFactory factory) const {
+  Pipeline::Node node;
+  node.name = name;
+  node.bolt = std::move(factory);
+  node.subs.push_back({node_, stream_, grouping_, key_field_});
+  const int id = pipe_->AddNode(std::move(node));
+  return Stream(pipe_, id, "default");
+}
+
+Stream Stream::ToFile(const std::string& name,
+                      io::EgressOptions options) const {
+  return Operate(name,
+                 [options = std::move(options)]()
+                     -> std::unique_ptr<api::Operator> {
+                   return std::make_unique<io::EgressSink>(options);
+                 });
+}
+
+Stream Stream::ToFile(const std::string& name, std::string path,
+                      io::RecordCodec codec) const {
+  return ToFile(name, io::EgressOptions::File(std::move(path), codec));
+}
+
+Stream Stream::ToSocket(const std::string& name, std::string host,
+                        uint16_t port, io::RecordCodec codec) const {
+  auto options = io::EgressOptions::Socket(std::move(host), port, codec);
+  return Operate(name,
+                 [options = std::move(options)]()
+                     -> std::unique_ptr<api::Operator> {
+                   return std::make_unique<io::EgressSink>(options);
+                 });
+}
+
 Stream Stream::Parallelism(int n) const {
   pipe_->nodes_[node_].parallelism = n;
   return *this;
@@ -248,6 +282,34 @@ Stream Pipeline::Source(const std::string& name, api::SpoutFactory spout) {
   return Stream(this, AddNode(std::move(node)), "default");
 }
 
+Stream Pipeline::FromFile(const std::string& name,
+                          io::FileSourceOptions options) {
+  return Source(name, api::SpoutFactory(
+                          [options = std::move(options)]()
+                              -> std::unique_ptr<api::Spout> {
+                            return std::make_unique<io::FileSource>(options);
+                          }));
+}
+
+Stream Pipeline::FromSocket(const std::string& name,
+                            std::shared_ptr<io::TcpListener> listener,
+                            io::TcpSourceOptions options) {
+  return Source(name, api::SpoutFactory(
+                          [listener = std::move(listener),
+                           options = std::move(options)]()
+                              -> std::unique_ptr<api::Spout> {
+                            return std::make_unique<io::TcpSource>(listener,
+                                                                   options);
+                          }));
+}
+
+Stream Pipeline::FromSocket(const std::string& name,
+                            const std::string& bind_addr, uint16_t port,
+                            io::TcpSourceOptions options) {
+  return FromSocket(name, std::make_shared<io::TcpListener>(bind_addr, port),
+                    std::move(options));
+}
+
 StatusOr<api::Topology> Pipeline::Build() && {
   api::TopologyBuilder b(name_);
   for (auto& node : nodes_) {
@@ -268,7 +330,9 @@ StatusOr<api::Topology> Pipeline::Build() && {
       }
     } else {
       api::OperatorFactory factory;
-      if (!node.kernels.empty()) {
+      if (node.bolt) {
+        factory = std::move(node.bolt);
+      } else if (!node.kernels.empty()) {
         factory =
             [ks = node.kernels]() -> std::unique_ptr<api::Operator> {
           return std::make_unique<api::KernelBolt>(ks);

@@ -52,6 +52,9 @@
 #include "api/topology.h"
 #include "common/status.h"
 #include "common/tuple.h"
+#include "io/egress.h"
+#include "io/mmap_source.h"
+#include "io/socket.h"
 
 namespace brisk::dsl {
 
@@ -204,6 +207,23 @@ class Stream {
 
   /// Attaches a terminal consumer.
   Stream Sink(const std::string& name, SinkFn fn) const;
+
+  /// Interop: attaches a Storm-layer Operator implementation as a DSL
+  /// bolt — the full virtual surface (Flush, keyed-state hooks) where
+  /// lambda verbs only cover Process. The egress verbs lower onto this.
+  Stream Operate(const std::string& name, api::OperatorFactory factory) const;
+
+  // Egress verbs (src/io): terminal bolts writing every input tuple as
+  // a framed record. Binary egress round-trips tuples exactly, so
+  // ToFile output replays through Pipeline::FromFile.
+
+  /// Writes this stream to a file (replicas > 1 write ".r<i>" parts).
+  Stream ToFile(const std::string& name, io::EgressOptions options) const;
+  Stream ToFile(const std::string& name, std::string path,
+                io::RecordCodec codec = io::RecordCodec::kBinary) const;
+  /// Writes this stream to a TCP endpoint (one connection per replica).
+  Stream ToSocket(const std::string& name, std::string host, uint16_t port,
+                  io::RecordCodec codec = io::RecordCodec::kBinary) const;
 
   /// Sets the base parallelism of the operator this stream leaves —
   /// the replication level the optimizer scales from.
@@ -399,6 +419,23 @@ class Pipeline {
   /// DSL source.
   Stream Source(const std::string& name, api::SpoutFactory spout);
 
+  // Ingest verbs (src/io): external data as DSL sources.
+
+  /// Reads a record file through the shared mmap source: all replicas
+  /// share one mapping and split the file by slice (io/mmap_source.h).
+  /// Positions are byte offsets, so file jobs checkpoint/restore to
+  /// exact record boundaries.
+  Stream FromFile(const std::string& name, io::FileSourceOptions options);
+
+  /// Accepts framed records on a TCP listener shared by all replicas.
+  /// Not replayable (checkpoints are refused) unless
+  /// TcpSourceOptions::journal_dir is set.
+  Stream FromSocket(const std::string& name,
+                    std::shared_ptr<io::TcpListener> listener,
+                    io::TcpSourceOptions options);
+  Stream FromSocket(const std::string& name, const std::string& bind_addr,
+                    uint16_t port, io::TcpSourceOptions options);
+
   /// Lowers the pipeline onto a validated api::Topology. All builder
   /// misuse (duplicate names, empty pipeline, ...) surfaces here, with
   /// the same deferred-error contract as TopologyBuilder::Build.
@@ -420,6 +457,7 @@ class Pipeline {
     bool is_source = false;
     api::SpoutFactory spout;   // interop source
     SourceFactory source;      // lambda source
+    api::OperatorFactory bolt; // interop bolt (Stream::Operate)
     ReplicaFactory process;    // bolts and sinks (body + state hooks)
     std::vector<api::KernelDesc> kernels;  // kernel-backed verbs
     int parallelism = 1;

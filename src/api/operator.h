@@ -170,6 +170,36 @@ class Operator {
   }
 };
 
+/// Replay position of one source replica, unified across source kinds:
+/// synthetic in-process spouts count tuples produced, file-backed
+/// sources record the byte offset of the next unconsumed record, and
+/// socket sources count per-connection sequence numbers (tuple-count
+/// kind). The kind travels with the offset through the checkpoint
+/// codec so a restore hands each source back a position in its own
+/// coordinate system.
+struct SourcePosition {
+  enum class Kind : uint8_t { kTupleCount = 0, kByteOffset = 1 };
+
+  Kind kind = Kind::kTupleCount;
+  uint64_t offset = 0;
+
+  static SourcePosition Tuples(uint64_t n) {
+    return {Kind::kTupleCount, n};
+  }
+  static SourcePosition Bytes(uint64_t n) {
+    return {Kind::kByteOffset, n};
+  }
+
+  bool operator==(const SourcePosition& o) const {
+    return kind == o.kind && offset == o.offset;
+  }
+};
+
+inline const char* SourcePositionKindName(SourcePosition::Kind kind) {
+  return kind == SourcePosition::Kind::kByteOffset ? "byte-offset"
+                                                   : "tuple-count";
+}
+
 /// A stream source. NextBatch is the pull interface the engine uses;
 /// the spout stamps origin timestamps itself (via the collector's
 /// tuples) for end-to-end latency accounting.
@@ -183,28 +213,46 @@ class Spout {
   }
 
   /// Produces up to `max_tuples` tuples. Returns the number produced;
-  /// returning 0 signals a bounded source is exhausted.
+  /// returning 0 signals a bounded source is exhausted — unless
+  /// Exhausted() says otherwise (external sources idle without ending).
   virtual size_t NextBatch(size_t max_tuples, OutputCollector* out) = 0;
 
-  // Replay hooks for fault tolerance. A replayable source reports how
-  // many tuples it has produced (Position) and can rewind to an earlier
-  // position after a crash, re-producing the identical tuple sequence
-  // from there (at-least-once delivery: tuples between the checkpointed
-  // position and the crash are emitted twice).
+  /// Whether a zero-tuple NextBatch means "done" (the default, for
+  /// bounded synthetic sources) or merely "no input right now". An
+  /// external source (socket) returns false while it could still
+  /// receive data, so the engine treats empty batches as idle and keeps
+  /// polling instead of retiring the source.
+  virtual bool Exhausted() const { return true; }
+
+  // Replay hooks for fault tolerance. A replayable source reports its
+  // position (tuple count or byte offset — see SourcePosition) and can
+  // rewind to an earlier position after a crash, re-producing the
+  // identical record sequence from there (at-least-once delivery:
+  // records between the checkpointed position and the crash are
+  // emitted twice).
 
   /// Whether this source supports Position/Rewind replay.
   virtual bool Replayable() const { return false; }
 
-  /// Number of tuples produced so far by this replica.
-  virtual uint64_t Position() const { return 0; }
+  /// Current replay position of this replica.
+  virtual SourcePosition Position() const { return {}; }
 
-  /// Rewinds to `position` tuples produced. Returns false when this
-  /// source cannot replay (the default) — recovery then resumes the
+  /// Rewinds to `position`. Returns false when this source cannot
+  /// replay from there (the default) — recovery then resumes the
   /// source from wherever it is, accepting gap-loss on that stream.
-  virtual bool Rewind(uint64_t position) {
+  virtual bool Rewind(const SourcePosition& position) {
     (void)position;
     return false;
   }
+
+  /// Veto hook for job checkpoints. A non-OK status makes
+  /// BriskRuntime::Checkpoint() return it as a structured refusal
+  /// instead of capturing a snapshot that could not be replayed — the
+  /// contract external non-replayable sources (sockets without an
+  /// egress journal) use so a checkpointed job never silently loses
+  /// their gap on restore. Replayable and synthetic sources keep the
+  /// default OK.
+  virtual Status CheckpointGuard() const { return Status::OK(); }
 };
 
 using OperatorFactory = std::function<std::unique_ptr<Operator>()>;

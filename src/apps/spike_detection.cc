@@ -16,7 +16,9 @@ Status SensorSpout::Prepare(const api::OperatorContext& ctx) {
   return Status::OK();
 }
 
-bool SensorSpout::Rewind(uint64_t position) {
+bool SensorSpout::Rewind(const api::SourcePosition& to) {
+  if (to.kind != api::SourcePosition::Kind::kTupleCount) return false;
+  const uint64_t position = to.offset;
   // Re-seed and fast-forward: regenerate (and discard) exactly the RNG
   // draws the first `position` readings consumed, mirroring NextBatch's
   // draw sequence (device, reading, spike coin, spike magnitude).

@@ -43,8 +43,10 @@ class SensorSpout : public api::Spout {
   /// discarded prefix's RNG draws, so the replayed reading stream is
   /// bit-identical to the original emission.
   bool Replayable() const override { return true; }
-  uint64_t Position() const override { return produced_; }
-  bool Rewind(uint64_t position) override;
+  api::SourcePosition Position() const override {
+    return api::SourcePosition::Tuples(produced_);
+  }
+  bool Rewind(const api::SourcePosition& position) override;
 
  private:
   SpikeDetectionParams params_;

@@ -94,7 +94,9 @@ size_t SentenceSpout::NextBatch(size_t max_tuples,
   return max_tuples;
 }
 
-bool SentenceSpout::Rewind(uint64_t position) {
+bool SentenceSpout::Rewind(const api::SourcePosition& to) {
+  if (to.kind != api::SourcePosition::Kind::kTupleCount) return false;
+  const uint64_t position = to.offset;
   // Re-seed and fast-forward: each sentence consumes exactly
   // words_per_sentence Zipf draws, so regenerating (and discarding)
   // that many draws leaves the RNG exactly where it was after sentence
@@ -216,6 +218,30 @@ StatusOr<api::Topology> BuildWordCountDsl(std::shared_ptr<SinkTelemetry> sink,
         if (tap) tap(in);
       });
   return std::move(p).Build();
+}
+
+dsl::Pipeline BuildFileWordCountDsl(std::shared_ptr<SinkTelemetry> sink,
+                                    io::FileSourceOptions source,
+                                    std::string out_path, dsl::SinkFn tap) {
+  dsl::Pipeline p("wc-file");
+  auto counted =
+      p.FromFile("spout", std::move(source))
+          .Filter("parser", api::FilterOf(ParserKeeps, 1.0, "parser"))
+          .FlatMap("splitter", api::FlatMapOf(SplitSentenceKernel, 10.0,
+                                              "splitter"))
+          .KeyBy(0)
+          .Aggregate<int64_t>(
+              "counter", 0,
+              std::function<void(int64_t&, const Tuple&, api::RowEmitter&)>(
+                  CountWordKernel));
+  counted.Sink("sink", [sink, tap](const Tuple& in) {
+    sink->RecordTuple(in.origin_ts_ns, NowNs());
+    if (tap) tap(in);
+  });
+  if (!out_path.empty()) {
+    counted.ToFile("egress", std::move(out_path));
+  }
+  return p;
 }
 
 dsl::Pipeline BuildDriftingWordCountDsl(std::shared_ptr<SinkTelemetry> sink,

@@ -46,8 +46,10 @@ class SentenceSpout : public api::Spout {
   /// regenerates the discarded prefix's RNG draws — the replayed
   /// suffix is bit-identical to the original emission.
   bool Replayable() const override { return true; }
-  uint64_t Position() const override { return produced_; }
-  bool Rewind(uint64_t position) override;
+  api::SourcePosition Position() const override {
+    return api::SourcePosition::Tuples(produced_);
+  }
+  bool Rewind(const api::SourcePosition& position) override;
 
  private:
   WordCountParams params_;
@@ -99,6 +101,19 @@ StatusOr<api::Topology> BuildWordCount(std::shared_ptr<SinkTelemetry> sink,
 StatusOr<api::Topology> BuildWordCountDsl(std::shared_ptr<SinkTelemetry> sink,
                                           WordCountParams params = {},
                                           dsl::SinkFn tap = nullptr);
+
+/// File-backed WC: the same kernelized parser → splitter → counter
+/// chain, fed from a record file through the shared-mmap source
+/// (io/mmap_source.h) instead of the synthetic SentenceSpout. Source
+/// positions are byte offsets, so the job checkpoints and restores to
+/// exact record boundaries. When `out_path` is non-empty, the counter
+/// stream additionally egresses binary (word, count) records there
+/// ("egress" operator; per-key counts are monotone, so the maximum
+/// count per word in the output is the final tally).
+dsl::Pipeline BuildFileWordCountDsl(std::shared_ptr<SinkTelemetry> sink,
+                                    io::FileSourceOptions source,
+                                    std::string out_path = {},
+                                    dsl::SinkFn tap = nullptr);
 
 /// Calibrated BriskStream profiles for WC (cycles; derived from the
 /// paper's Table 3 measurements at Server A's 1.2 GHz — e.g. Splitter

@@ -22,11 +22,14 @@
 
 namespace brisk::engine {
 
-/// Replay position of one source replica.
+/// Replay position of one source replica. The position carries its
+/// coordinate system (api::SourcePosition::Kind): tuple counts for
+/// synthetic/socket sources, byte offsets for file-backed sources —
+/// restore hands each source back a position it knows how to seek to.
 struct SourcePosition {
   int op = -1;
   int replica = 0;
-  uint64_t position = 0;
+  api::SourcePosition position;
   /// False when the source does not implement Position/Rewind —
   /// recovery then resumes it wherever it is (gap-loss on that
   /// stream) instead of rewinding.
@@ -64,11 +67,15 @@ struct JobCheckpoint {
 
 /// Encodes epoch + keyed state + source positions into a
 /// self-delimiting binary buffer (common/serde tuple codec underneath).
+/// Writes the current (v2, "BCP2") format: position entries carry a
+/// SourcePosition kind so byte-offset file sources round-trip.
 void SerializeCheckpoint(const JobCheckpoint& cp, std::vector<uint8_t>* out);
 
 /// Decodes a buffer produced by SerializeCheckpoint. The plan is not
 /// part of the wire format; the caller re-attaches the plan it stored
-/// with the bytes.
+/// with the bytes. Accepts both the current "BCP2" format and PR-7's
+/// "BCP1" (kind-less positions decode as tuple counts — the only kind
+/// v1 sources had).
 StatusOr<JobCheckpoint> DeserializeCheckpoint(
     const std::vector<uint8_t>& buf, const model::ExecutionPlan& plan);
 

@@ -450,6 +450,16 @@ StatusOr<JobCheckpoint> BriskRuntime::Checkpoint() {
   if (!running_) {
     return Status::FailedPrecondition("Checkpoint requires a running engine");
   }
+  // Source veto, checked before the (expensive) pause: an external
+  // non-replayable source (socket without an egress journal) refuses
+  // checkpointing outright — a snapshot of its job could never replay
+  // the gap, so refusing beats a silently-inconsistent capture.
+  for (const auto& task : tasks_) {
+    if (api::Spout* spout = task->spout()) {
+      const Status guard = spout->CheckpointGuard();
+      if (!guard.ok()) return guard;
+    }
+  }
   const auto pause_start = std::chrono::steady_clock::now();
   // Same pause as a migration: quiesce at a batch boundary preserving
   // in-flight envelopes, then sweep residuals to the sinks. After the
@@ -566,11 +576,14 @@ Status BriskRuntime::Restore(const JobCheckpoint& cp,
     const auto& pi = plan_.instance(static_cast<int>(i));
     api::Spout* spout = tasks_[i]->spout();
     if (spout == nullptr || !spout->Replayable()) continue;
-    const uint64_t live_pos = spout->Position();
+    const api::SourcePosition live_pos = spout->Position();
     for (const auto& p : cp.positions) {
       if (p.op == pi.op && p.replica == pi.replica && p.replayable &&
-          live_pos > p.position) {
-        replayed += live_pos - p.position;
+          live_pos.kind == p.position.kind &&
+          live_pos.offset > p.position.offset) {
+        // Window units follow the position kind: tuples for synthetic
+        // and socket sources, bytes for file sources.
+        replayed += live_pos.offset - p.position.offset;
       }
     }
   }
@@ -624,7 +637,9 @@ Status BriskRuntime::Restore(const JobCheckpoint& cp,
     BRISK_CHECK(spout != nullptr) << "validated above";
     if (p.replayable && !spout->Rewind(p.position)) {
       BRISK_LOG(Warn) << "source op " << p.op << " replica " << p.replica
-                      << " refused Rewind(" << p.position
+                      << " refused Rewind("
+                      << api::SourcePositionKindName(p.position.kind) << " "
+                      << p.position.offset
                       << "); its stream restarts with a gap";
     }
   }

@@ -493,7 +493,17 @@ void Task::RunSpout() {
     }
     stats_.busy_ns += static_cast<uint64_t>(NowNs() - t0);
     stats_.tuples_in += produced;
-    if (produced == 0) break;  // bounded source exhausted
+    if (produced == 0) {
+      // External sources (sockets) idle without ending: only an
+      // exhausted source retires. Idling flushes partials so low-rate
+      // external streams still progress, then backs off briefly.
+      if (!spout_->Exhausted()) {
+        FlushAll(true);
+        std::this_thread::yield();
+        continue;
+      }
+      break;  // bounded source exhausted
+    }
   }
 }
 
@@ -593,9 +603,14 @@ PollResult Task::PollSpout(int budget) {
     }
     stats_.busy_ns += static_cast<uint64_t>(NowNs() - t0);
     stats_.tuples_in += produced;
-    if (produced == 0) {  // bounded source exhausted
+    if (produced == 0) {
       if (!FlushAll(true)) return PollResult::kBlocked;
-      source_done_ = true;
+      // An external source with no input right now is idle, not done —
+      // the worker re-polls after its park timeout.
+      if (!spout_->Exhausted()) {
+        return progressed ? PollResult::kProgress : PollResult::kIdle;
+      }
+      source_done_ = true;  // bounded source exhausted
       return PollResult::kDone;
     }
     progressed = true;

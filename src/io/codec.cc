@@ -1,0 +1,146 @@
+#include "io/codec.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/serde.h"
+
+namespace brisk::io {
+
+const char* RecordCodecName(RecordCodec codec) {
+  return codec == RecordCodec::kBinary ? "binary" : "text";
+}
+
+void AppendRecord(RecordCodec codec, std::string_view record,
+                  std::vector<uint8_t>* out) {
+  if (codec == RecordCodec::kText) {
+    out->insert(out->end(), record.begin(), record.end());
+    out->push_back('\n');
+    return;
+  }
+  const uint32_t len = static_cast<uint32_t>(record.size());
+  for (int i = 0; i < 4; ++i) out->push_back(uint8_t(len >> (8 * i)));
+  out->insert(out->end(), record.begin(), record.end());
+}
+
+FrameResult NextRecord(RecordCodec codec, const uint8_t* data, size_t size,
+                       size_t* consumed, std::string_view* record) {
+  const size_t off = *consumed;
+  if (off >= size) return FrameResult::kNeedMore;
+  if (codec == RecordCodec::kText) {
+    const void* nl = std::memchr(data + off, '\n', size - off);
+    if (nl == nullptr) return FrameResult::kNeedMore;
+    const size_t end = static_cast<const uint8_t*>(nl) - data;
+    *record = std::string_view(reinterpret_cast<const char*>(data) + off,
+                               end - off);
+    *consumed = end + 1;
+    return FrameResult::kRecord;
+  }
+  if (size - off < 4) return FrameResult::kNeedMore;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= uint32_t(data[off + i]) << (8 * i);
+  if (len > kMaxRecordBytes) return FrameResult::kError;
+  if (size - off - 4 < len) return FrameResult::kNeedMore;
+  *record = std::string_view(reinterpret_cast<const char*>(data) + off + 4,
+                             len);
+  *consumed = off + 4 + len;
+  return FrameResult::kRecord;
+}
+
+StatusOr<Tuple> DecodeTupleRecord(RecordCodec codec, std::string_view record) {
+  if (codec == RecordCodec::kText) {
+    Tuple t;
+    t.fields.emplace_back(record);
+    return t;
+  }
+  std::vector<uint8_t> buf(record.begin(), record.end());
+  size_t off = 0;
+  auto t = DeserializeTuple(buf, &off);
+  if (!t.ok()) return t.status();
+  if (off != buf.size()) {
+    return Status::InvalidArgument("binary record has trailing bytes");
+  }
+  return t;
+}
+
+void EncodeTupleRecord(RecordCodec codec, const Tuple& t,
+                       std::vector<uint8_t>* out) {
+  if (codec == RecordCodec::kBinary) {
+    std::vector<uint8_t> payload;
+    SerializeTuple(t, &payload);
+    AppendRecord(codec,
+                 std::string_view(reinterpret_cast<const char*>(payload.data()),
+                                  payload.size()),
+                 out);
+    return;
+  }
+  std::string line;
+  for (size_t i = 0; i < t.fields.size(); ++i) {
+    if (i > 0) line.push_back(' ');
+    const Field& f = t.fields[i];
+    if (f.is_string()) {
+      line.append(f.AsString());
+    } else if (f.is_double()) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", f.AsDouble());
+      line.append(buf);
+    } else {
+      line.append(std::to_string(f.AsInt()));
+    }
+  }
+  AppendRecord(codec, line, out);
+}
+
+Status WriteRecordFile(const std::string& path, RecordCodec codec,
+                       const std::vector<std::string>& records) {
+  std::vector<uint8_t> buf;
+  for (const auto& r : records) AppendRecord(codec, r, &buf);
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  if (!buf.empty() &&
+      std::fwrite(buf.data(), 1, buf.size(), f) != buf.size()) {
+    std::fclose(f);
+    return Status::Internal("short write to '" + path + "'");
+  }
+  if (std::fclose(f) != 0) {
+    return Status::Internal("close failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> ReadRecordFile(const std::string& path,
+                                                  RecordCodec codec) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open '" + path + "'");
+  std::vector<uint8_t> buf;
+  uint8_t chunk[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+  std::vector<std::string> records;
+  size_t off = 0;
+  std::string_view rec;
+  while (off < buf.size()) {
+    const FrameResult r = NextRecord(codec, buf.data(), buf.size(), &off, &rec);
+    if (r == FrameResult::kRecord) {
+      records.emplace_back(rec);
+      continue;
+    }
+    if (r == FrameResult::kNeedMore && codec == RecordCodec::kText) {
+      // Unterminated final line: still one record.
+      records.emplace_back(reinterpret_cast<const char*>(buf.data()) + off,
+                           buf.size() - off);
+      break;
+    }
+    return Status::InvalidArgument("corrupt or truncated frame in '" + path +
+                                   "' at byte " + std::to_string(off));
+  }
+  return records;
+}
+
+}  // namespace brisk::io

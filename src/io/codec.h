@@ -1,0 +1,85 @@
+// Record framing shared by every ingest/egress endpoint.
+//
+// One codec enum covers the file source, the socket source, the egress
+// sink, and the socket replay journal, so a file written by ToFile can
+// be replayed by FromFile and a journaled socket stream re-reads with
+// the same parser that framed it off the wire:
+//
+//   kText    newline-delimited UTF-8 records (one line = one record);
+//            decodes to a single-string-field tuple, the shape the
+//            word_count parser already consumes.
+//   kBinary  u32 little-endian length prefix + payload. Tuple payloads
+//            ride the common/serde codec, so every Field alternative
+//            and the origin timestamp round-trip exactly.
+//
+// The framing layer is deliberately incremental: NextRecord consumes
+// from a byte window and reports kNeedMore on a partial frame, which is
+// what both the mmap reader (slice may end mid-window) and the socket
+// reader (TCP segments split records arbitrarily) need.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+
+namespace brisk::io {
+
+enum class RecordCodec : uint8_t {
+  kText = 0,
+  kBinary = 1,
+};
+
+const char* RecordCodecName(RecordCodec codec);
+
+/// Upper bound on one binary record. A length prefix beyond this is
+/// treated as frame corruption (kError) rather than an allocation
+/// request — the guard a listener needs against a garbage peer.
+inline constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+/// Appends one framed record to `out` (adds '\n' or the length prefix).
+/// Text records must not contain '\n'; embedded newlines would be
+/// record boundaries on the way back in.
+void AppendRecord(RecordCodec codec, std::string_view record,
+                  std::vector<uint8_t>* out);
+
+enum class FrameResult {
+  kRecord,    ///< one complete record extracted; *consumed advanced
+  kNeedMore,  ///< partial frame at the end of the window; nothing consumed
+  kError,     ///< unrecoverable framing corruption (oversized binary length)
+};
+
+/// Extracts the next record from data[*consumed, size). On kRecord,
+/// `*record` views the payload (no copy — valid while `data` is) and
+/// `*consumed` moves past the frame.
+FrameResult NextRecord(RecordCodec codec, const uint8_t* data, size_t size,
+                       size_t* consumed, std::string_view* record);
+
+/// Decodes one record payload into a Tuple. Text records become a
+/// single string field (origin timestamp left 0 for the caller to
+/// stamp); binary records decode through common/serde.
+StatusOr<Tuple> DecodeTupleRecord(RecordCodec codec, std::string_view record);
+
+/// Encodes `t` as one framed record appended to `out` — the inverse of
+/// NextRecord + DecodeTupleRecord. Text encoding renders fields
+/// space-separated (ints/doubles formatted, strings verbatim); binary
+/// encoding is the exact serde round-trip.
+void EncodeTupleRecord(RecordCodec codec, const Tuple& t,
+                       std::vector<uint8_t>* out);
+
+/// Writes `records` to `path` framed by `codec` (corpus generation for
+/// tests, benches, and examples). Overwrites an existing file.
+Status WriteRecordFile(const std::string& path, RecordCodec codec,
+                       const std::vector<std::string>& records);
+
+/// Reads every record of a file written with `codec` framing — the
+/// verification half of WriteRecordFile, also used to re-read egress
+/// output. Fails on framing corruption or a truncated final frame.
+StatusOr<std::vector<std::string>> ReadRecordFile(const std::string& path,
+                                                  RecordCodec codec);
+
+}  // namespace brisk::io

@@ -1,0 +1,90 @@
+// Egress: a buffered record writer mounted as a terminal operator.
+//
+// EgressSink encodes every input tuple with the shared record codec
+// (io/codec.h) into an in-memory buffer and writes the buffer to its
+// target — a file or a TCP connection — when it fills, at Flush, and
+// at teardown. Binary egress is the exact serde round-trip, so a file
+// written here replays through FromFile with identical tuples; text
+// egress renders fields space-separated for human consumption.
+//
+// Replication: each replica owns its own output. File targets with
+// more than one replica get a ".r<i>" suffix so replicas never
+// interleave writes; socket targets open one connection per replica.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/operator.h"
+#include "common/status.h"
+#include "io/codec.h"
+
+namespace brisk::io {
+
+struct EgressOptions {
+  enum class Target { kFile, kSocket };
+  Target target = Target::kFile;
+
+  // File target.
+  std::string path;
+  bool append = false;
+
+  // Socket target.
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  RecordCodec codec = RecordCodec::kBinary;
+
+  /// Write() is issued when the encode buffer reaches this size.
+  size_t buffer_bytes = 64u << 10;
+
+  static EgressOptions File(std::string path,
+                            RecordCodec codec = RecordCodec::kBinary) {
+    EgressOptions o;
+    o.target = Target::kFile;
+    o.path = std::move(path);
+    o.codec = codec;
+    return o;
+  }
+  static EgressOptions Socket(std::string host, uint16_t port,
+                              RecordCodec codec = RecordCodec::kBinary) {
+    EgressOptions o;
+    o.target = Target::kSocket;
+    o.host = std::move(host);
+    o.port = port;
+    o.codec = codec;
+    return o;
+  }
+};
+
+/// Terminal operator writing every input tuple to the egress target.
+class EgressSink : public api::Operator {
+ public:
+  explicit EgressSink(EgressOptions options) : options_(std::move(options)) {}
+  ~EgressSink() override;
+
+  Status Prepare(const api::OperatorContext& ctx) override;
+  void Process(const Tuple& in, api::OutputCollector* out) override;
+  void Flush(api::OutputCollector* out) override;
+
+  /// Bytes handed to write() across all EgressSink instances in this
+  /// process (bench/test accounting).
+  static uint64_t TotalBytesWritten();
+  static void ResetTotalBytesWritten();
+
+  /// Output path of a file-target replica (after Prepare; includes the
+  /// ".r<i>" suffix when replicated).
+  const std::string& resolved_path() const { return resolved_path_; }
+
+ private:
+  void Drain();
+
+  EgressOptions options_;
+  std::string name_;
+  std::string resolved_path_;
+  int fd_ = -1;
+  std::vector<uint8_t> buf_;
+};
+
+}  // namespace brisk::io

@@ -1,0 +1,21 @@
+// brisk::io — production ingest/egress: the engine meets the outside
+// world.
+//
+// One include for the whole subsystem:
+//   codec.h        record framing (newline text / length-prefixed
+//                  binary) shared by every endpoint
+//   mmap_source.h  replayable file source: one shared mapping per
+//                  file, slice-partitioned replicas, readahead thread,
+//                  byte-offset checkpoint positions
+//   socket.h       TCP listener + framed-record source with pull-based
+//                  back-pressure and an optional replay journal
+//   egress.h       buffered file/socket record writer sink
+//
+// DSL surface (api/dsl.h): Pipeline::FromFile / FromSocket,
+// Stream::ToFile / ToSocket.
+#pragma once
+
+#include "io/codec.h"
+#include "io/egress.h"
+#include "io/mmap_source.h"
+#include "io/socket.h"

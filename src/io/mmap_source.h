@@ -1,0 +1,165 @@
+// Replayable mmap file source.
+//
+// Design (the "one mapping, many readers" contract):
+//
+//   * SharedMapping keeps a process-wide registry of read-only mmap
+//     regions keyed by path. Every FileSource replica of every job
+//     reading the same file shares ONE mapping — replication never
+//     multiplies resident pages or map calls. MappingCounters exposes
+//     map-call and live-mapping counts so benches and tests assert the
+//     sharing instead of trusting it.
+//
+//   * Each mapping can run one readahead thread: replicas report their
+//     cursor after every batch, and the thread madvises + touches the
+//     window just ahead of the SLOWEST reader, so page faults are taken
+//     off the execution threads' critical path without prefetching
+//     pages no reader will want soon.
+//
+//   * Replicas split the file without copying: range partition gives
+//     replica i one contiguous newline-aligned slice (text only — the
+//     alignment scan needs a record delimiter that can be found without
+//     walking frames from byte 0); interleaved partition has every
+//     replica walk all frames and emit those with seq % N == i (works
+//     for both codecs; the skipped frames cost a memchr/length hop, not
+//     a decode).
+//
+//   * Positions are byte offsets into the file (api::SourcePosition::
+//     Bytes), so checkpoints capture exactly which prefix of the file
+//     has taken effect and restore rewinds to that record boundary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "api/operator.h"
+#include "common/status.h"
+#include "io/codec.h"
+
+namespace brisk::io {
+
+/// Process-wide mmap accounting, for asserting the sharing claims.
+struct MappingCounters {
+  /// mmap() calls ever made by SharedMapping (monotone).
+  uint64_t map_calls = 0;
+  /// Mappings currently live.
+  uint64_t active = 0;
+  /// Bytes covered by live mappings.
+  uint64_t mapped_bytes = 0;
+};
+MappingCounters GetMappingCounters();
+
+/// One read-only mapping of one file, shared by all its readers.
+class SharedMapping {
+ public:
+  /// Returns the process-wide mapping for `path`, mmap-ing it on first
+  /// use. Subsequent opens of the same path (other replicas, other
+  /// jobs) get the same object until the last holder drops it.
+  static StatusOr<std::shared_ptr<SharedMapping>> Open(
+      const std::string& path);
+
+  ~SharedMapping();
+  SharedMapping(const SharedMapping&) = delete;
+  SharedMapping& operator=(const SharedMapping&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  // Readahead protocol. Readers register with their starting offset,
+  // report progress per batch, and unregister on teardown; the first
+  // EnsureReadahead call starts the (single) readahead thread with the
+  // widest requested window.
+
+  int RegisterReader(uint64_t start_offset);
+  void ReportOffset(int reader, uint64_t offset);
+  void UnregisterReader(int reader);
+  void EnsureReadahead(size_t window_bytes);
+
+  /// Pages the readahead thread has touched so far (bytes, monotone);
+  /// lets tests see the thread actually ran ahead of the readers.
+  uint64_t readahead_bytes() const {
+    return readahead_done_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  SharedMapping(std::string path, const uint8_t* data, size_t size);
+  void ReadaheadLoop();
+  uint64_t SlowestReader();
+
+  std::string path_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+
+  std::mutex mu_;
+  std::map<int, uint64_t> readers_;
+  int next_reader_ = 0;
+  size_t window_bytes_ = 0;
+  std::thread readahead_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> readahead_done_{0};
+};
+
+struct FileSourceOptions {
+  std::string path;
+  RecordCodec codec = RecordCodec::kText;
+
+  /// How replicas split the file. kRange (contiguous newline-aligned
+  /// slices) is text-only; Prepare rejects kRange for binary files with
+  /// more than one replica, because binary frame boundaries cannot be
+  /// found mid-file without walking from byte 0.
+  enum class Partition { kRange, kInterleaved };
+  Partition partition = Partition::kRange;
+
+  /// Readahead window per mapping; 0 disables the readahead thread.
+  size_t readahead_bytes = 1u << 20;
+
+  /// Benchmark mode: wrap to the slice start at EOF and keep producing
+  /// forever (sustained-throughput measurement). A looping source has
+  /// no meaningful byte position, so it is not replayable.
+  bool loop = false;
+};
+
+/// api::Spout over a SharedMapping slice.
+class FileSource : public api::Spout {
+ public:
+  explicit FileSource(FileSourceOptions options)
+      : options_(std::move(options)) {}
+  ~FileSource() override;
+
+  Status Prepare(const api::OperatorContext& ctx) override;
+  size_t NextBatch(size_t max_tuples, api::OutputCollector* out) override;
+
+  bool Replayable() const override { return !options_.loop; }
+  api::SourcePosition Position() const override {
+    return api::SourcePosition::Bytes(cursor_);
+  }
+  bool Rewind(const api::SourcePosition& position) override;
+
+  /// Records this replica has emitted (monotone; not reset by Rewind).
+  uint64_t records_emitted() const { return emitted_; }
+
+ private:
+  /// Advances cursor_/seq_ past one frame; true when a record was
+  /// framed (owned or not), false at end-of-slice / truncation.
+  bool Step(std::string_view* record, bool* owned);
+
+  FileSourceOptions options_;
+  std::shared_ptr<SharedMapping> map_;
+  int reader_id_ = -1;
+  int replica_ = 0;
+  int replicas_ = 1;
+
+  uint64_t slice_begin_ = 0;  ///< first byte this replica scans
+  uint64_t slice_end_ = 0;    ///< one past the last byte this replica scans
+  uint64_t cursor_ = 0;       ///< byte offset of the next unexamined frame
+  uint64_t seq_ = 0;          ///< frame sequence number at cursor_ (interleaved)
+  uint64_t emitted_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace brisk::io

@@ -1,0 +1,321 @@
+#include "io/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace brisk::io {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<uint64_t> g_max_buffered{0};
+
+void NoteBuffered(uint64_t bytes) {
+  uint64_t prev = g_max_buffered.load(std::memory_order_relaxed);
+  while (bytes > prev &&
+         !g_max_buffered.compare_exchange_weak(prev, bytes)) {
+  }
+}
+
+Status MakeAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof *addr);
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address '" + host + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status TcpListener::EnsureOpen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) return Status::OK();
+
+  sockaddr_in addr;
+  BRISK_RETURN_NOT_OK(MakeAddr(bind_addr_, requested_port_, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return Status::Unavailable("bind to " + bind_addr_ + ":" +
+                               std::to_string(requested_port_) + " failed: " +
+                               std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::Internal("listen() failed");
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return Status::Internal("getsockname() failed");
+  }
+  fd_ = fd;
+  port_.store(ntohs(bound.sin_port));
+  return Status::OK();
+}
+
+int TcpListener::Accept() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return -1;
+  return ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK);
+}
+
+uint64_t TcpSource::MaxBufferedBytes() { return g_max_buffered.load(); }
+void TcpSource::ResetMaxBufferedBytes() { g_max_buffered.store(0); }
+
+TcpSource::~TcpSource() {
+  for (auto& c : conns_) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  if (journal_fd_ >= 0) ::close(journal_fd_);
+}
+
+Status TcpSource::Prepare(const api::OperatorContext& ctx) {
+  name_ = ctx.operator_name;
+  replica_ = ctx.replica_index;
+  if (listener_ == nullptr) {
+    return Status::InvalidArgument("socket source '" + name_ +
+                                   "' has no listener");
+  }
+  BRISK_RETURN_NOT_OK(listener_->EnsureOpen());
+
+  if (!options_.journal_dir.empty()) {
+    journal_path_ = options_.journal_dir + "/" + name_ + ".r" +
+                    std::to_string(replica_) + ".jnl";
+    journal_fd_ = ::open(journal_path_.c_str(),
+                         O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (journal_fd_ < 0) {
+      return Status::NotFound("cannot open journal '" + journal_path_ + "'");
+    }
+    // The journal sequence survives restarts: keep counting after
+    // whatever a previous incarnation of this replica journaled.
+    auto prior = ReadRecordFile(journal_path_, options_.codec);
+    if (!prior.ok()) return prior.status();
+    seq_ = prior.value().size();
+  }
+  return Status::OK();
+}
+
+void TcpSource::AcceptPending() {
+  int fd;
+  while ((fd = listener_->Accept()) >= 0) {
+    Conn c;
+    c.fd = fd;
+    conns_.push_back(std::move(c));
+    ++accepted_;
+  }
+}
+
+void TcpSource::CloseConn(Conn& c) {
+  if (c.fd >= 0) ::close(c.fd);
+  c.fd = -1;
+}
+
+size_t TcpSource::NextBatch(size_t max_tuples, api::OutputCollector* out) {
+  AcceptPending();
+
+  size_t produced = 0;
+  std::vector<Tuple> pending;
+  std::vector<uint8_t> journal_batch;
+
+  // Drain the replay queue before touching sockets: journal order is
+  // the sequence, and replayed records are already journaled.
+  while (produced < max_tuples && !replay_.empty()) {
+    auto t = DecodeTupleRecord(options_.codec, replay_.front());
+    replay_.pop_front();
+    ++seq_;
+    if (!t.ok()) continue;
+    if (t.value().origin_ts_ns == 0) t.value().origin_ts_ns = NowNs();
+    out->Emit(std::move(t).value());
+    ++produced;
+  }
+
+  size_t read_budget = options_.max_read_bytes;
+  for (auto& c : conns_) {
+    if (produced >= max_tuples) break;
+    if (c.fd < 0 && c.parsed >= c.buf.size()) continue;
+    bool conn_open = c.fd >= 0;
+    while (produced + pending.size() < max_tuples) {
+      std::string_view rec;
+      const FrameResult r = NextRecord(options_.codec, c.buf.data(),
+                                       c.buf.size(), &c.parsed, &rec);
+      if (r == FrameResult::kRecord) {
+        auto t = DecodeTupleRecord(options_.codec, rec);
+        if (!t.ok()) {
+          BRISK_LOG(Warn) << "socket source '" << name_
+                          << "': undecodable record dropped: " << t.status();
+          continue;
+        }
+        // Journal-before-emit: the batch's journal bytes hit the file
+        // (below) before any of its tuples reach the collector, so a
+        // crash can duplicate records on replay but never lose one.
+        if (journal_fd_ >= 0) {
+          AppendRecord(options_.codec, rec, &journal_batch);
+        }
+        if (t.value().origin_ts_ns == 0) t.value().origin_ts_ns = NowNs();
+        pending.push_back(std::move(t).value());
+        continue;
+      }
+      if (r == FrameResult::kError) {
+        BRISK_LOG(Warn) << "socket source '" << name_
+                        << "': corrupt frame; closing connection";
+        CloseConn(c);
+        c.buf.clear();
+        c.parsed = 0;
+        conn_open = false;
+        break;
+      }
+      // kNeedMore: compact and try to read.
+      if (c.parsed > 0) {
+        c.buf.erase(c.buf.begin(),
+                    c.buf.begin() + static_cast<ptrdiff_t>(c.parsed));
+        c.parsed = 0;
+      }
+      if (!conn_open || read_budget == 0) break;
+      uint8_t chunk[16 << 10];
+      const size_t want = std::min(sizeof chunk, read_budget);
+      const ssize_t n = ::recv(c.fd, chunk, want, 0);
+      if (n > 0) {
+        c.buf.insert(c.buf.end(), chunk, chunk + n);
+        read_budget -= static_cast<size_t>(n);
+        continue;
+      }
+      if (n == 0) {
+        if (c.buf.size() > c.parsed) {
+          BRISK_LOG(Warn) << "socket source '" << name_ << "': peer closed "
+                          << "mid-frame; dropping partial record";
+        }
+        CloseConn(c);
+        c.buf.clear();
+        c.parsed = 0;
+        conn_open = false;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      CloseConn(c);
+      c.buf.clear();
+      c.parsed = 0;
+      conn_open = false;
+      break;
+    }
+  }
+
+  // Journal, then emit (see journal-before-emit above).
+  if (!journal_batch.empty()) {
+    size_t off = 0;
+    while (off < journal_batch.size()) {
+      const ssize_t n = ::write(journal_fd_, journal_batch.data() + off,
+                                journal_batch.size() - off);
+      if (n <= 0) {
+        BRISK_CHECK(errno == EINTR)
+            << "socket journal write failed: " << std::strerror(errno);
+        continue;
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+  for (auto& t : pending) {
+    out->Emit(std::move(t));
+    ++produced;
+    ++seq_;
+  }
+
+  uint64_t buffered = 0;
+  for (const auto& c : conns_) buffered += c.buf.size() - c.parsed;
+  NoteBuffered(buffered);
+
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [](const Conn& c) {
+                                return c.fd < 0 && c.parsed >= c.buf.size();
+                              }),
+               conns_.end());
+  return produced;
+}
+
+bool TcpSource::Rewind(const api::SourcePosition& position) {
+  if (!Replayable()) return false;
+  if (position.kind != api::SourcePosition::Kind::kTupleCount) return false;
+  auto journaled = ReadRecordFile(journal_path_, options_.codec);
+  if (!journaled.ok()) return false;
+  if (position.offset > journaled.value().size()) return false;
+  replay_.clear();
+  for (size_t i = position.offset; i < journaled.value().size(); ++i) {
+    replay_.push_back(std::move(journaled.value()[i]));
+  }
+  seq_ = position.offset;
+  return true;
+}
+
+Status TcpSource::CheckpointGuard() const {
+  if (Replayable()) return Status::OK();
+  return Status::FailedPrecondition(
+      "socket source '" + name_ + "' is not replayable: connections carry no "
+      "replay medium. Configure TcpSourceOptions::journal_dir to journal "
+      "ingested records, or checkpointing must stay off for this job.");
+}
+
+StatusOr<int> TcpConnect(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  BRISK_RETURN_NOT_OK(MakeAddr(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect to " + host + ":" +
+                               std::to_string(port) + " failed: " +
+                               std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+Status TcpSend(const std::string& host, uint16_t port, RecordCodec codec,
+               const std::vector<std::string>& records) {
+  BRISK_ASSIGN_OR_RETURN(const int fd, TcpConnect(host, port));
+  std::vector<uint8_t> buf;
+  for (const auto& r : records) AppendRecord(codec, r, &buf);
+  size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+    if (n <= 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Unavailable("send to " + host + ":" +
+                                 std::to_string(port) + " failed: " +
+                                 std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace brisk::io

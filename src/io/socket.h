@@ -1,0 +1,149 @@
+// TCP ingest: a shared listener plus a per-connection framed-record
+// Spout, with back-pressure that reaches the remote producer.
+//
+// The engine pulls from spouts (NextBatch), so back-pressure is
+// structural: when a downstream channel fills, the executor parks the
+// spout task and stops calling NextBatch; this source then stops
+// draining the kernel socket buffer, the TCP window closes, and the
+// remote writer blocks. User-space buffering stays bounded at roughly
+// one read chunk per connection — MaxBufferedBytes() exposes the
+// high-water mark so tests assert the bound instead of trusting it.
+//
+// Replay: a socket is not a seekable medium, so positions are journal
+// sequence numbers (api::SourcePosition::Tuples). Without a journal
+// the source is NOT replayable and CheckpointGuard() vetoes job
+// checkpoints (a snapshot that cannot replay the socket gap would
+// silently lose data on restore). With TcpSourceOptions::journal_dir
+// set, every record is appended to a per-replica journal file BEFORE
+// it is emitted; Position() is the journal sequence and Rewind()
+// re-reads the journal tail, making checkpoint/restore exact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/operator.h"
+#include "common/status.h"
+#include "io/codec.h"
+
+namespace brisk::io {
+
+/// One listening socket shared by every replica of a socket source:
+/// replicas accept from the same fd, so the kernel spreads incoming
+/// connections across them without a dispatcher thread. Created
+/// un-opened; the first Prepare (or an explicit EnsureOpen, e.g. a
+/// test that needs the bound port before deploying) opens it.
+class TcpListener {
+ public:
+  TcpListener(std::string bind_addr, uint16_t port)
+      : bind_addr_(std::move(bind_addr)), requested_port_(port) {}
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Opens the socket (idempotent, thread-safe). With port 0 the
+  /// kernel assigns one; port() reports it afterwards.
+  Status EnsureOpen();
+
+  /// Bound port, 0 until EnsureOpen succeeded.
+  uint16_t port() const { return port_.load(); }
+
+  /// Accepts one pending connection as a non-blocking fd; -1 if none.
+  int Accept();
+
+ private:
+  std::string bind_addr_;
+  uint16_t requested_port_ = 0;
+  std::mutex mu_;
+  int fd_ = -1;
+  std::atomic<uint16_t> port_{0};
+};
+
+struct TcpSourceOptions {
+  RecordCodec codec = RecordCodec::kText;
+
+  /// Non-empty enables the replay journal (one file per replica under
+  /// this directory) and with it Position/Rewind replayability. The
+  /// journal sequence survives restarts: a re-Prepared replica keeps
+  /// appending after its existing journal.
+  std::string journal_dir;
+
+  /// Per-NextBatch socket read budget — the user-space buffering bound
+  /// back-pressure is measured against.
+  size_t max_read_bytes = 64u << 10;
+
+  /// When true the source reports Exhausted() once at least one
+  /// connection was accepted and all of them have closed (drained
+  /// bounded jobs end instead of idling forever). Long-running ingest
+  /// keeps the default: idle, never done.
+  bool finite = false;
+};
+
+/// api::Spout reading framed records from accepted TCP connections.
+class TcpSource : public api::Spout {
+ public:
+  TcpSource(std::shared_ptr<TcpListener> listener, TcpSourceOptions options)
+      : listener_(std::move(listener)), options_(std::move(options)) {}
+  ~TcpSource() override;
+
+  Status Prepare(const api::OperatorContext& ctx) override;
+  size_t NextBatch(size_t max_tuples, api::OutputCollector* out) override;
+
+  bool Exhausted() const override {
+    return options_.finite && accepted_ > 0 && conns_.empty() &&
+           replay_.empty();
+  }
+  bool Replayable() const override { return !options_.journal_dir.empty(); }
+  api::SourcePosition Position() const override {
+    return api::SourcePosition::Tuples(seq_);
+  }
+  bool Rewind(const api::SourcePosition& position) override;
+  Status CheckpointGuard() const override;
+
+  /// High-water mark of user-space bytes buffered across all TcpSource
+  /// instances in this process — the back-pressure bound under test.
+  static uint64_t MaxBufferedBytes();
+  static void ResetMaxBufferedBytes();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::vector<uint8_t> buf;
+    size_t parsed = 0;
+  };
+
+  void AcceptPending();
+  void CloseConn(Conn& c);
+
+  std::shared_ptr<TcpListener> listener_;
+  TcpSourceOptions options_;
+  std::string name_;
+  int replica_ = 0;
+
+  std::vector<Conn> conns_;
+  uint64_t accepted_ = 0;
+
+  /// Journal sequence: records ever journaled by this replica; the
+  /// next record to emit when replaying.
+  uint64_t seq_ = 0;
+  int journal_fd_ = -1;
+  std::string journal_path_;
+  std::deque<std::string> replay_;
+};
+
+/// Blocking connect helper (egress sink, test producers). Returns a
+/// connected fd.
+StatusOr<int> TcpConnect(const std::string& host, uint16_t port);
+
+/// Test/bench producer: connects, writes all records framed by
+/// `codec`, and closes. Blocks until the kernel accepted every byte —
+/// i.e. it experiences the receiver's back-pressure.
+Status TcpSend(const std::string& host, uint16_t port, RecordCodec codec,
+               const std::vector<std::string>& records);
+
+}  // namespace brisk::io

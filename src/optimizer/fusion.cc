@@ -159,8 +159,14 @@ class FusedChainSpout : public api::Spout {
   // Replay rides on the head spout; the fused bolts are downstream of
   // the replay point and simply re-process the replayed tuples.
   bool Replayable() const override { return head_->Replayable(); }
-  uint64_t Position() const override { return head_->Position(); }
-  bool Rewind(uint64_t position) override { return head_->Rewind(position); }
+  bool Exhausted() const override { return head_->Exhausted(); }
+  api::SourcePosition Position() const override { return head_->Position(); }
+  bool Rewind(const api::SourcePosition& position) override {
+    return head_->Rewind(position);
+  }
+  Status CheckpointGuard() const override {
+    return head_->CheckpointGuard();
+  }
 
  private:
   std::unique_ptr<api::Spout> head_;

@@ -348,7 +348,9 @@ TEST(RecoveryTest, CheckpointRoundTripsThroughCodecAndRestores) {
   EXPECT_GT(cp->TotalEntries(), 0u);
   ASSERT_EQ(cp->positions.size(), 1u);
   EXPECT_TRUE(cp->positions[0].replayable);
-  EXPECT_GT(cp->positions[0].position, 0u);
+  EXPECT_EQ(cp->positions[0].position.kind,
+            api::SourcePosition::Kind::kTupleCount);
+  EXPECT_GT(cp->positions[0].position.offset, 0u);
 
   std::vector<uint8_t> bytes;
   SerializeCheckpoint(*cp, &bytes);

@@ -1,0 +1,325 @@
+// TcpSource/TcpListener (io/socket.h): wire round-trips, the bounded
+// user-space buffering claim behind back-pressure, the journal replay
+// path, and the checkpoint veto for non-journaled socket jobs.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "api/dsl.h"
+#include "api/operator.h"
+#include "common/logging.h"
+#include "common/serde.h"
+#include "engine/runtime.h"
+#include "io/codec.h"
+#include "io/socket.h"
+#include "model/execution_plan.h"
+
+namespace brisk::io {
+namespace {
+
+class VecCollector : public api::OutputCollector {
+ public:
+  void Emit(Tuple t) override { tuples.push_back(std::move(t)); }
+  void EmitTo(uint16_t, Tuple t) override { tuples.push_back(std::move(t)); }
+  std::vector<Tuple> tuples;
+};
+
+api::OperatorContext Ctx(const std::string& name, int replica = 0,
+                         int replicas = 1) {
+  api::OperatorContext ctx;
+  ctx.operator_name = name;
+  ctx.replica_index = replica;
+  ctx.num_replicas = replicas;
+  return ctx;
+}
+
+std::vector<std::string> Records(int n, const std::string& prefix) {
+  std::vector<std::string> records;
+  records.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) records.push_back(prefix + std::to_string(i));
+  return records;
+}
+
+/// A journal directory with no leftover journal for `op` — reruns of
+/// the suite must not inherit a previous run's sequence numbers.
+std::string FreshJournalDir(const std::string& name, const std::string& op) {
+  const std::string dir = testing::TempDir() + name;
+  ::mkdir(dir.c_str(), 0755);
+  ::unlink((dir + "/" + op + ".r0.jnl").c_str());
+  return dir;
+}
+
+/// Polls NextBatch until `want` tuples arrived or ~5s passed.
+std::vector<Tuple> Receive(TcpSource* src, size_t want) {
+  VecCollector out;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (out.tuples.size() < want &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (src->NextBatch(256, &out) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  return std::move(out.tuples);
+}
+
+TEST(SocketTest, TextRecordsRoundTripInOrderAndFiniteSourceDrains) {
+  auto listener = std::make_shared<TcpListener>("127.0.0.1", 0);
+  ASSERT_TRUE(listener->EnsureOpen().ok());
+  ASSERT_NE(listener->port(), 0);
+
+  TcpSourceOptions opt;
+  opt.finite = true;
+  TcpSource src(listener, opt);
+  ASSERT_TRUE(src.Prepare(Ctx("ingest")).ok());
+  EXPECT_FALSE(src.Exhausted()) << "exhausted before any connection";
+  EXPECT_FALSE(src.Replayable()) << "no journal, must not claim replay";
+
+  const auto records = Records(500, "msg-");
+  std::thread producer([&] {
+    ASSERT_TRUE(TcpSend("127.0.0.1", listener->port(), RecordCodec::kText,
+                        records)
+                    .ok());
+  });
+  const auto got = Receive(&src, records.size());
+  producer.join();
+
+  ASSERT_EQ(got.size(), records.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].GetString(0), records[i]);  // one conn => FIFO
+    EXPECT_GT(got[i].origin_ts_ns, 0) << "source must stamp origin";
+  }
+  // The producer closed; one more poll notices and the finite source
+  // reports done.
+  VecCollector out;
+  for (int i = 0; i < 100 && !src.Exhausted(); ++i) {
+    (void)src.NextBatch(16, &out);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(src.Exhausted());
+}
+
+TEST(SocketTest, BinaryTuplesSurviveTheWireExactly) {
+  auto listener = std::make_shared<TcpListener>("127.0.0.1", 0);
+  ASSERT_TRUE(listener->EnsureOpen().ok());
+
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 64; ++i) {
+    Tuple t;
+    t.fields.push_back(Field("key-" + std::to_string(i)));
+    t.fields.push_back(Field(int64_t{i * 1000}));
+    t.fields.push_back(Field(0.5 * i));
+    t.origin_ts_ns = 777;
+    std::vector<uint8_t> buf;
+    SerializeTuple(t, &buf);
+    payloads.emplace_back(reinterpret_cast<const char*>(buf.data()),
+                          buf.size());
+  }
+
+  TcpSourceOptions opt;
+  opt.codec = RecordCodec::kBinary;
+  TcpSource src(listener, opt);
+  ASSERT_TRUE(src.Prepare(Ctx("ingest")).ok());
+  std::thread producer([&] {
+    ASSERT_TRUE(TcpSend("127.0.0.1", listener->port(), RecordCodec::kBinary,
+                        payloads)
+                    .ok());
+  });
+  const auto got = Receive(&src, payloads.size());
+  producer.join();
+
+  ASSERT_EQ(got.size(), payloads.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].fields.size(), 3u);
+    EXPECT_EQ(got[i].GetString(0), "key-" + std::to_string(i));
+    EXPECT_EQ(got[i].GetInt(1), static_cast<int64_t>(i) * 1000);
+    EXPECT_EQ(got[i].GetDouble(2), 0.5 * static_cast<double>(i));
+    EXPECT_EQ(got[i].origin_ts_ns, 777);  // wire timestamp preserved
+  }
+}
+
+TEST(SocketTest, UserSpaceBufferingStaysBoundedUnderFirehose) {
+  auto listener = std::make_shared<TcpListener>("127.0.0.1", 0);
+  ASSERT_TRUE(listener->EnsureOpen().ok());
+
+  TcpSourceOptions opt;
+  opt.max_read_bytes = 8u << 10;
+  TcpSource src(listener, opt);
+  ASSERT_TRUE(src.Prepare(Ctx("ingest")).ok());
+  TcpSource::ResetMaxBufferedBytes();
+
+  // ~1.6 MB of records, far beyond the read budget: the sender only
+  // finishes because the kernel socket absorbs what NextBatch has not
+  // drained — user-space buffering must not grow with the backlog.
+  const auto records = Records(20000, "firehose-record-payload-");
+  std::thread producer([&] {
+    ASSERT_TRUE(TcpSend("127.0.0.1", listener->port(), RecordCodec::kText,
+                        records)
+                    .ok());
+  });
+  const auto got = Receive(&src, records.size());
+  producer.join();
+
+  EXPECT_EQ(got.size(), records.size()) << "records lost under pressure";
+  EXPECT_LE(TcpSource::MaxBufferedBytes(),
+            opt.max_read_bytes + (16u << 10))
+      << "buffered backlog exceeded the read-budget bound";
+}
+
+TEST(SocketTest, JournalReplaysTheStreamAcrossSourceRestarts) {
+  const std::string op = "jnl_restart";
+  const std::string journal_dir = FreshJournalDir("io_socket_jnl", op);
+  const auto records = Records(100, "journaled-");
+
+  {
+    auto listener = std::make_shared<TcpListener>("127.0.0.1", 0);
+    ASSERT_TRUE(listener->EnsureOpen().ok());
+    TcpSourceOptions opt;
+    opt.journal_dir = journal_dir;
+    TcpSource src(listener, opt);
+    ASSERT_TRUE(src.Prepare(Ctx(op)).ok());
+    EXPECT_TRUE(src.Replayable());
+    std::thread producer([&] {
+      ASSERT_TRUE(TcpSend("127.0.0.1", listener->port(), RecordCodec::kText,
+                          records)
+                      .ok());
+    });
+    const auto got = Receive(&src, records.size());
+    producer.join();
+    ASSERT_EQ(got.size(), records.size());
+    EXPECT_EQ(src.Position(), api::SourcePosition::Tuples(records.size()));
+  }
+
+  // A fresh incarnation of the same replica resumes the journal
+  // sequence and can replay any suffix without a connection.
+  auto listener = std::make_shared<TcpListener>("127.0.0.1", 0);
+  TcpSourceOptions opt;
+  opt.journal_dir = journal_dir;
+  TcpSource src(listener, opt);
+  ASSERT_TRUE(src.Prepare(Ctx(op)).ok());
+  EXPECT_EQ(src.Position(), api::SourcePosition::Tuples(records.size()));
+
+  EXPECT_FALSE(src.Rewind(api::SourcePosition::Bytes(0)))
+      << "byte offsets belong to file sources";
+  EXPECT_FALSE(src.Rewind(api::SourcePosition::Tuples(records.size() + 1)))
+      << "cannot rewind past the journal";
+
+  ASSERT_TRUE(src.Rewind(api::SourcePosition::Tuples(40)));
+  EXPECT_EQ(src.Position(), api::SourcePosition::Tuples(40));
+  const auto replayed = Receive(&src, records.size() - 40);
+  ASSERT_EQ(replayed.size(), records.size() - 40);
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i].GetString(0), records[40 + i]);
+  }
+  EXPECT_EQ(src.Position(), api::SourcePosition::Tuples(records.size()));
+}
+
+// ------------------------------------------------------ engine level
+
+struct SocketJob {
+  std::shared_ptr<TcpListener> listener;
+  std::shared_ptr<std::atomic<uint64_t>> received;
+  std::shared_ptr<const api::Topology> topo;
+  std::unique_ptr<engine::BriskRuntime> rt;
+};
+
+SocketJob MakeSocketJob(TcpSourceOptions options) {
+  SocketJob job;
+  job.listener = std::make_shared<TcpListener>("127.0.0.1", 0);
+  BRISK_CHECK_OK(job.listener->EnsureOpen());
+  job.received = std::make_shared<std::atomic<uint64_t>>(0);
+  auto received = job.received;
+  dsl::Pipeline p("socket-job");
+  p.FromSocket("ingest", job.listener, std::move(options))
+      .Sink("sink", [received](const Tuple&) {
+        received->fetch_add(1, std::memory_order_relaxed);
+      });
+  auto topo = std::move(p).Build();
+  BRISK_CHECK(topo.ok()) << topo.status().ToString();
+  job.topo = std::make_shared<const api::Topology>(std::move(topo).value());
+  auto plan_or = model::ExecutionPlan::Create(job.topo.get(), {1, 1});
+  BRISK_CHECK(plan_or.ok()) << plan_or.status().ToString();
+  model::ExecutionPlan plan = std::move(plan_or).value();
+  for (int i = 0; i < plan.num_instances(); ++i) plan.SetSocket(i, 0);
+  engine::EngineConfig config;
+  config.drain_timeout_s = 1.0;
+  auto rt = engine::BriskRuntime::Create(job.topo.get(), plan, config);
+  BRISK_CHECK(rt.ok()) << rt.status().ToString();
+  job.rt = std::move(rt).value();
+  return job;
+}
+
+TEST(SocketTest, CheckpointIsRefusedWhenTheSocketHasNoJournal) {
+  SocketJob job = MakeSocketJob(TcpSourceOptions{});
+  ASSERT_TRUE(job.rt->Start().ok());
+
+  ASSERT_TRUE(TcpSend("127.0.0.1", job.listener->port(), RecordCodec::kText,
+                      Records(50, "pre-"))
+                  .ok());
+  for (int waited = 0; waited < 5000 && job.received->load() < 50;
+       waited += 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(job.received->load(), 50u);
+
+  // The structured refusal: a snapshot of this job could not replay
+  // the socket gap on restore, so Checkpoint() must say so instead of
+  // capturing one.
+  auto cp = job.rt->Checkpoint();
+  ASSERT_FALSE(cp.ok());
+  EXPECT_EQ(cp.status().code(), StatusCode::kFailedPrecondition)
+      << cp.status().ToString();
+  EXPECT_NE(cp.status().message().find("not replayable"), std::string::npos)
+      << cp.status().ToString();
+  EXPECT_NE(cp.status().message().find("journal"), std::string::npos)
+      << "refusal must name the remedy: " << cp.status().ToString();
+
+  // The veto must leave the job running: more records still flow.
+  ASSERT_TRUE(TcpSend("127.0.0.1", job.listener->port(), RecordCodec::kText,
+                      Records(50, "post-"))
+                  .ok());
+  for (int waited = 0; waited < 5000 && job.received->load() < 100;
+       waited += 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(job.received->load(), 100u);
+  (void)job.rt->Stop();
+}
+
+TEST(SocketTest, JournaledSocketJobCheckpointsWithSequencePositions) {
+  TcpSourceOptions options;
+  options.journal_dir = FreshJournalDir("io_socket_cp_jnl", "ingest");
+  SocketJob job = MakeSocketJob(options);
+  ASSERT_TRUE(job.rt->Start().ok());
+
+  ASSERT_TRUE(TcpSend("127.0.0.1", job.listener->port(), RecordCodec::kText,
+                      Records(80, "cp-"))
+                  .ok());
+  for (int waited = 0; waited < 5000 && job.received->load() < 80;
+       waited += 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(job.received->load(), 80u);
+
+  auto cp = job.rt->Checkpoint();
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  ASSERT_EQ(cp->positions.size(), 1u);
+  EXPECT_TRUE(cp->positions[0].replayable);
+  EXPECT_EQ(cp->positions[0].position.kind,
+            api::SourcePosition::Kind::kTupleCount);
+  // Quiesced snapshot: the journal sequence equals what the sink saw
+  // (this test's journal starts empty, so sequence == received).
+  EXPECT_EQ(cp->positions[0].position.offset, job.received->load());
+  (void)job.rt->Stop();
+}
+
+}  // namespace
+}  // namespace brisk::io
