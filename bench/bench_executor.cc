@@ -36,6 +36,8 @@
 
 #include "bench_util.h"
 #include "engine/runtime.h"
+#include "hardware/machine_spec.h"
+#include "hardware/numa_emulator.h"
 #include "model/execution_plan.h"
 
 namespace brisk {
@@ -44,6 +46,7 @@ namespace {
 using engine::EngineConfig;
 using engine::ExecutorKind;
 using model::ExecutionPlan;
+using model::PlanInstance;
 
 int HostCores() {
   const unsigned n = std::thread::hardware_concurrency();
@@ -106,6 +109,81 @@ RunResult RunOnce(ExecutorKind kind, int replication, double seconds,
   res.sink_tps = static_cast<double>(steady_tuples) /
                  (static_cast<double>(t1 - t0) * 1e-9);
   res.p99_ms = steady_latency.Percentile(0.99) / 1e6;
+  return res;
+}
+
+/// One run of the skewed-assignment arm (ISSUE 9): word_count at
+/// replication 64 on an emulated two-socket machine where every heavy
+/// instance (splitter + counter) is parked on socket 0 while socket 1
+/// holds only the light spout/parser/sink chain. With stealing off the
+/// heavy backlog is bound to socket 0's workers; with stealing on the
+/// idle socket-1 workers should pull it over and lift throughput.
+struct SkewResult {
+  double sink_tps = 0.0;
+  int workers = 0;
+  uint64_t parks = 0;
+  uint64_t wakes = 0;
+  uint64_t steals_intra = 0;
+  uint64_t steals_cross = 0;
+  uint64_t steal_failures = 0;
+  uint64_t repatriations = 0;
+};
+
+SkewResult RunSkew(bool steal_on, double seconds) {
+  constexpr int kSkewReplication = 64;
+  auto app = apps::MakeApp(apps::AppId::kWordCount);
+  if (!app.ok()) std::abort();
+  auto plan = ExecutionPlan::Create(
+      app->topology_ptr.get(),
+      {1, 1, kSkewReplication, kSkewReplication, 1});
+  if (!plan.ok()) std::abort();
+  // Ops are {spout, parser, splitter, counter, sink}; the two replicated
+  // heavy ops (ids 2 and 3) all land on socket 0.
+  for (int i = 0; i < plan->num_instances(); ++i) {
+    const PlanInstance& pi = plan->instance(i);
+    plan->SetSocket(i, (pi.op == 2 || pi.op == 3) ? 0 : 1);
+  }
+  // Emulated two-socket machine: drives worker grouping and pinning but
+  // charges no remote-fetch stalls (enabled=false), so the measured
+  // delta is pure scheduling.
+  const int cores = HostCores();
+  const hw::MachineSpec machine = hw::MachineSpec::Symmetric(
+      2, std::max(1, cores / 2), 1.0, 50, 300, 50, 10);
+  const hw::NumaEmulator numa(machine, /*enabled=*/false);
+  EngineConfig cfg = EngineConfig::Brisk();
+  cfg.executor = ExecutorKind::kWorkerPool;
+  cfg.queue_capacity = kBoundedQueueBatches;
+  cfg.pool_inflight_batches = 0;
+  cfg.graceful_drain = false;
+  cfg.pin_threads = true;
+  cfg.steal_work = steal_on;
+  // At least two workers per socket so intra-socket stealing is
+  // structurally possible even on small hosts.
+  cfg.workers_per_socket = std::max(2, cores / 2);
+  if (g_budget > 0) cfg.poll_budget = g_budget;
+  auto rt = engine::BriskRuntime::Create(app->topology_ptr.get(), *plan,
+                                         cfg, &numa);
+  if (!rt.ok()) std::abort();
+  if (!(*rt)->Start().ok()) std::abort();
+  const int64_t t0 = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  const uint64_t steady_tuples = app->telemetry->count();
+  const int64_t t1 = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+  const engine::RunStats stats = (*rt)->Stop();
+  SkewResult res;
+  res.sink_tps = static_cast<double>(steady_tuples) /
+                 (static_cast<double>(t1 - t0) * 1e-9);
+  res.workers = stats.executor.threads;
+  res.parks = stats.executor.parks;
+  res.wakes = stats.executor.wakes;
+  res.steals_intra = stats.executor.steals_intra;
+  res.steals_cross = stats.executor.steals_cross;
+  res.steal_failures = stats.executor.steal_failures;
+  res.repatriations = stats.executor.repatriations;
   return res;
 }
 
@@ -233,6 +311,60 @@ int Main(int argc, char** argv) {
                     json_point(tpt, pool, r, ratio, oversub));
   }
   bench::PrintRule(widths);
+
+  // Skewed-assignment arm (ISSUE 9): every heavy instance on socket 0
+  // of an emulated two-socket machine, stealing on vs off. The gate is
+  // only meaningful with real parallelism, so it is recorded but not
+  // enforced on single-core hosts.
+  const bool steal_gate_enforced = cores >= 2;
+  std::printf("skewed arm: word_count r=64, heavy ops pinned to socket 0 "
+              "of an emulated 2-socket machine, steal on vs off "
+              "(%s on this host)\n",
+              steal_gate_enforced ? "gated" : "recorded, ungated: <2 cores");
+  const SkewResult skew_off = RunSkew(/*steal_on=*/false, seconds);
+  const SkewResult skew_on = RunSkew(/*steal_on=*/true, seconds);
+  const double steal_ratio =
+      skew_off.sink_tps > 0.0 ? skew_on.sink_tps / skew_off.sink_tps : 0.0;
+  const std::vector<int> swidths = {7, 13, 8, 7, 7, 7, 7, 7, 7};
+  bench::PrintRule(swidths);
+  bench::PrintRow({"steal", "tup/s", "workers", "parks", "wakes", "intra",
+                   "cross", "fail", "repat"},
+                  swidths);
+  bench::PrintRule(swidths);
+  auto print_skew = [&](const char* label, const SkewResult& r) {
+    char tps[32], wk[16], pk[16], wks[16], in[16], cr[16], fl[16], rp[16];
+    std::snprintf(tps, sizeof(tps), "%.0f", r.sink_tps);
+    std::snprintf(wk, sizeof(wk), "%d", r.workers);
+    std::snprintf(pk, sizeof(pk), "%llu", (unsigned long long)r.parks);
+    std::snprintf(wks, sizeof(wks), "%llu", (unsigned long long)r.wakes);
+    std::snprintf(in, sizeof(in), "%llu",
+                  (unsigned long long)r.steals_intra);
+    std::snprintf(cr, sizeof(cr), "%llu",
+                  (unsigned long long)r.steals_cross);
+    std::snprintf(fl, sizeof(fl), "%llu",
+                  (unsigned long long)r.steal_failures);
+    std::snprintf(rp, sizeof(rp), "%llu",
+                  (unsigned long long)r.repatriations);
+    bench::PrintRow({label, tps, wk, pk, wks, in, cr, fl, rp}, swidths);
+  };
+  print_skew("off", skew_off);
+  print_skew("on", skew_on);
+  bench::PrintRule(swidths);
+  const uint64_t steals_total =
+      skew_on.steals_intra + skew_on.steals_cross;
+  const bool steal_ratio_pass = steal_ratio >= 1.5;
+  const bool steal_intra_pass = skew_on.steals_intra > 0;
+  const bool steal_cross_minority =
+      skew_on.steals_cross * 2 < steals_total || steals_total == 0;
+  const bool steal_pass =
+      !steal_gate_enforced ||
+      (steal_ratio_pass && steal_intra_pass && steal_cross_minority);
+  std::printf("steal gate: on/off = %.2f (min 1.50), intra=%llu "
+              "cross=%llu (cross must stay a strict minority)%s\n",
+              steal_ratio, (unsigned long long)skew_on.steals_intra,
+              (unsigned long long)skew_on.steals_cross,
+              steal_gate_enforced ? "" : " [not enforced: <2 cores]");
+
   std::printf("parity gate   (r=%d): pool/tpt = %.2f (min 0.95)\n",
               r_parity, parity_ratio);
   std::printf("oversub gate  (r=%d): pool/tpt = %.2f (min 2.00)\n",
@@ -251,6 +383,26 @@ int Main(int argc, char** argv) {
       .Add("ratio", oversub_ratio)
       .Add("min", 2.0)
       .Add("pass", oversub_pass);
+  auto skew_json = [](const SkewResult& r) {
+    bench::JsonObj o;
+    o.Add("sink_tps", r.sink_tps)
+        .Add("workers", r.workers)
+        .Add("parks", static_cast<double>(r.parks))
+        .Add("wakes", static_cast<double>(r.wakes))
+        .Add("steals_intra", static_cast<double>(r.steals_intra))
+        .Add("steals_cross", static_cast<double>(r.steals_cross))
+        .Add("steal_failures", static_cast<double>(r.steal_failures))
+        .Add("repatriations", static_cast<double>(r.repatriations));
+    return o;
+  };
+  bench::JsonObj gate_steal;
+  gate_steal.Add("replication", 64)
+      .Add("ratio", steal_ratio)
+      .Add("min", 1.5)
+      .Add("enforced", steal_gate_enforced)
+      .Add("pass", steal_pass)
+      .Add("steal_off", skew_json(skew_off))
+      .Add("steal_on", skew_json(skew_on));
   bench::JsonObj doc;
   doc.Add("bench", "executor")
       .Add("workload",
@@ -264,7 +416,8 @@ int Main(int argc, char** argv) {
       .Add("points", points)
       .Add("deep_queue_points", deep_points)
       .Add("gate_parity", gate_parity)
-      .Add("gate_oversub", gate_oversub);
+      .Add("gate_oversub", gate_oversub)
+      .Add("gate_steal", gate_steal);
   if (!bench::WriteJsonFile(out_path, doc)) return 1;
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -282,6 +435,15 @@ int Main(int argc, char** argv) {
                  "FAIL: worker-pool not >= 2x thread-per-task at 8x "
                  "oversubscription (ratio %.2f < 2.00)\n",
                  oversub_ratio);
+    return 1;
+  }
+  if (!steal_pass) {
+    std::fprintf(stderr,
+                 "FAIL: skewed arm — steal-on/steal-off = %.2f (min "
+                 "1.50), steals_intra=%llu (must be > 0), "
+                 "steals_cross=%llu (must be a strict minority)\n",
+                 steal_ratio, (unsigned long long)skew_on.steals_intra,
+                 (unsigned long long)skew_on.steals_cross);
     return 1;
   }
   return 0;

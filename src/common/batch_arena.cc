@@ -1,0 +1,52 @@
+#include "common/batch_arena.h"
+
+#include <cstddef>
+#include <new>
+
+#include "common/tuple.h"
+
+namespace brisk {
+
+namespace {
+
+thread_local BatchArena* tls_batch_arena = nullptr;
+
+/// Provenance header prepended to every shell: the arena that produced
+/// it (null = global allocator). One max_align_t slot keeps the shell
+/// itself at full alignment.
+constexpr size_t kShellHeaderBytes = alignof(std::max_align_t);
+static_assert(sizeof(BatchArena*) <= kShellHeaderBytes,
+              "provenance pointer must fit the alignment slot");
+
+}  // namespace
+
+BatchArena* CurrentBatchArena() { return tls_batch_arena; }
+
+BatchArenaScope::BatchArenaScope(BatchArena* arena)
+    : previous_(tls_batch_arena) {
+  tls_batch_arena = arena;
+}
+
+BatchArenaScope::~BatchArenaScope() { tls_batch_arena = previous_; }
+
+void* JumboTuple::operator new(size_t bytes) {
+  BatchArena* arena = tls_batch_arena;
+  void* base = arena != nullptr
+                   ? arena->AllocateShell(bytes + kShellHeaderBytes)
+                   : ::operator new(bytes + kShellHeaderBytes);
+  *static_cast<BatchArena**>(base) = arena;
+  return static_cast<char*>(base) + kShellHeaderBytes;
+}
+
+void JumboTuple::operator delete(void* p, size_t bytes) noexcept {
+  if (p == nullptr) return;
+  void* base = static_cast<char*>(p) - kShellHeaderBytes;
+  BatchArena* arena = *static_cast<BatchArena**>(base);
+  if (arena != nullptr) {
+    arena->DeallocateShell(base, bytes + kShellHeaderBytes);
+  } else {
+    ::operator delete(base);
+  }
+}
+
+}  // namespace brisk

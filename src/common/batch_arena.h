@@ -1,0 +1,51 @@
+// Thread-local allocation hook for JumboTuple batch shells.
+//
+// The worker pool installs one BatchArena per socket (hw::NumaArena)
+// on each of its worker threads, so every shell a producer task
+// allocates in FlushBuffer comes from — and is first-touched on — the
+// socket the task runs on. JumboTuple::operator new consults the hook;
+// operator delete routes through a hidden per-shell provenance header,
+// so a shell freed by a consumer on another socket (or by the
+// single-threaded drain/finalize epilogues, which install no arena)
+// still returns to the arena that produced it. Threads with no arena
+// installed fall back to the global allocator; a null header marks
+// those shells.
+//
+// Lifetime rule: an arena must outlive every shell it produced. The
+// runtime guarantees this by owning its ArenaSet and destroying it
+// after all tasks and channels (see BriskRuntime member order).
+#pragma once
+
+#include <cstddef>
+
+namespace brisk {
+
+class BatchArena {
+ public:
+  virtual ~BatchArena() = default;
+
+  /// Both must be thread-safe: shells are freed by whichever thread
+  /// drains them, concurrently with the producing thread allocating.
+  virtual void* AllocateShell(size_t bytes) = 0;
+  virtual void DeallocateShell(void* p, size_t bytes) = 0;
+};
+
+/// The calling thread's installed arena; null when shells should use
+/// the global allocator.
+BatchArena* CurrentBatchArena();
+
+/// RAII install/restore of the calling thread's arena. Pool workers
+/// hold one for the lifetime of their loop.
+class BatchArenaScope {
+ public:
+  explicit BatchArenaScope(BatchArena* arena);
+  ~BatchArenaScope();
+
+  BatchArenaScope(const BatchArenaScope&) = delete;
+  BatchArenaScope& operator=(const BatchArenaScope&) = delete;
+
+ private:
+  BatchArena* previous_;
+};
+
+}  // namespace brisk

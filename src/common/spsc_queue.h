@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory_resource>
 #include <utility>
 #include <vector>
 
@@ -26,7 +27,13 @@ template <typename T>
 class SpscQueue {
  public:
   /// Capacity is rounded up to a power of two; usable slots = capacity.
-  explicit SpscQueue(size_t capacity) {
+  /// `memory` backs the slot array (NUMA-aware callers pass the
+  /// consuming socket's arena; it must outlive the queue). Slot
+  /// *contents* are plain T — only the ring storage is placed.
+  explicit SpscQueue(size_t capacity,
+                     std::pmr::memory_resource* memory =
+                         std::pmr::get_default_resource())
+      : slots_(memory) {
     size_t cap = 1;
     while (cap < capacity + 1) cap <<= 1;  // one slot stays empty
     mask_ = cap - 1;
@@ -111,7 +118,7 @@ class SpscQueue {
   size_t capacity() const { return mask_; }
 
  private:
-  std::vector<T> slots_;
+  std::pmr::vector<T> slots_;
   size_t mask_ = 0;
 
   alignas(kCacheLineSize) std::atomic<size_t> head_{0};

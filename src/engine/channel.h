@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <vector>
 
 #include "common/spsc_queue.h"
@@ -41,13 +42,20 @@ class Channel {
   /// vacates (TryPopSwap) and the producer's push swaps it back out
   /// (TryPushSwap), so after the first ring lap neither side touches
   /// the allocator.
+  /// `ring_memory` backs both ring buffers' slot storage; the runtime
+  /// passes the *consumer* socket's NumaArena so a batch pointer is
+  /// read from memory local to the socket that pops it. The resource
+  /// must outlive the channel (arena lifetime rule: arenas are owned by
+  /// the runtime and destroyed after every channel and task).
   Channel(int from_instance, int to_instance, size_t capacity,
-          bool reuse_shells = false)
+          bool reuse_shells = false,
+          std::pmr::memory_resource* ring_memory =
+              std::pmr::get_default_resource())
       : from_instance_(from_instance),
         to_instance_(to_instance),
         reuse_shells_(reuse_shells),
-        queue_(capacity),
-        recycled_(capacity + 1) {
+        queue_(capacity, ring_memory),
+        recycled_(capacity + 1, ring_memory) {
     producer_full_threshold_ = queue_.capacity();
   }
 
@@ -111,8 +119,11 @@ class Channel {
   bool EmptyApprox() const { return queue_.EmptyApprox(); }
 
   /// Worker-pool wiring (pre-start; cleared when the pool shuts down).
+  /// The refs are per task *instance*, not per worker: the executor
+  /// repoints them when a steal migrates the endpoint task, so wake
+  /// hints keep finding whichever worker currently runs it.
   /// Thread-per-task mode leaves both null and pays one branch.
-  void SetWakers(Waker* consumer, Waker* producer) {
+  void SetWakers(WakerRef* consumer, WakerRef* producer) {
     consumer_waker_ = consumer;
     producer_waker_ = producer;
   }
@@ -164,8 +175,8 @@ class Channel {
   bool reuse_shells_ = false;
   SpscQueue<Envelope> queue_;
   SpscQueue<JumboTuplePtr> recycled_;
-  Waker* consumer_waker_ = nullptr;
-  Waker* producer_waker_ = nullptr;
+  WakerRef* consumer_waker_ = nullptr;
+  WakerRef* producer_waker_ = nullptr;
   size_t producer_full_threshold_ = 0;  // set to ring capacity in ctor
   JumboTuplePtr spare_;           // consumer-thread only
   JumboTuplePtr producer_spare_;  // producer-thread only

@@ -141,6 +141,35 @@ struct EngineConfig {
   /// timeout covers wakes the hints cannot see (token-bucket refills).
   int park_timeout_us = 500;
 
+  /// Morsel-style work stealing between pool workers: a worker whose
+  /// own run queue yields no progress steals the least-recently-polled
+  /// task from the deepest sibling in its socket group, and only after
+  /// `steal_patience` consecutive failed intra-socket rounds reaches
+  /// across sockets — RLAS placement stays an affinity, not a
+  /// straitjacket. Off pins every task to the worker the round-robin
+  /// distribution gave it (PR-4 behavior, kept for A/B benching).
+  bool steal_work = true;
+
+  /// Consecutive idle passes in which no intra-socket victim was found
+  /// before a worker is allowed one cross-socket steal attempt.
+  int steal_patience = 4;
+
+  /// Consecutive idle polls after which a task stolen across sockets
+  /// is repatriated to a worker of its plan socket: a migrant that has
+  /// gone quiet drifts home instead of anchoring remote wake hints.
+  int steal_repatriate_after = 8;
+
+  /// Back channel/batch-shell allocation with per-plan-socket
+  /// hugepage-backed arenas (hw::NumaArena), mbind-placed on real
+  /// multi-node hosts and first-touch everywhere else. Off = global
+  /// allocator for everything (legacy modes keep it off: allocation
+  /// cost is part of what they model).
+  bool numa_arena = true;
+
+  /// Arena reservation granularity per mmap chunk (kibibytes); the
+  /// default matches the x86-64 2 MiB huge page.
+  size_t arena_chunk_kb = 2048;
+
   /// Stop() stops spouts first and lets bolts drain in-flight
   /// envelopes (bounded by drain_timeout_s) before halting, so a
   /// bounded source's tuples all reach the sink instead of being
@@ -189,6 +218,8 @@ struct EngineConfig {
     c.recycle_batches = false;  // legacy runtimes allocate per transfer
     c.compile_pipelines = false;
     c.reuse_ring_shells = false;
+    c.steal_work = false;  // legacy schedulers hash-pin executors
+    c.numa_arena = false;
     return c;
   }
 
@@ -203,6 +234,8 @@ struct EngineConfig {
     c.recycle_batches = false;  // legacy runtimes allocate per transfer
     c.compile_pipelines = false;
     c.reuse_ring_shells = false;
+    c.steal_work = false;  // legacy schedulers hash-pin executors
+    c.numa_arena = false;
     return c;
   }
 };

@@ -3,13 +3,16 @@
 // ThreadPerTaskExecutor is the legacy model — one dedicated OS thread
 // per instance. WorkerPoolExecutor is the native model: one worker
 // group per plan socket (sized from the machine's cores-per-socket,
-// capped by the host), each worker cooperatively round-robining
-// Task::Poll quanta over its assigned tasks, with a spin→yield→park
-// wait strategy and Waker hints from the channels — so RLAS placement
-// is honored at execution time and replication ≫ cores no longer
-// collapses into OS scheduler thrash.
+// capped by the host), each worker owning a bounded run-queue deque of
+// Task::Poll quanta with morsel-style work stealing between workers
+// (intra-socket first, cross-socket as a last resort), a
+// spin→yield→park wait strategy, and Waker hints from the channels —
+// so RLAS placement is honored at execution time as an affinity, and
+// replication ≫ cores no longer collapses into OS scheduler thrash or
+// onto the slowest socket group under skew.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -21,6 +24,10 @@
 #include "engine/waker.h"
 #include "hardware/machine_spec.h"
 
+namespace brisk::hw {
+class ArenaSet;
+}  // namespace brisk::hw
+
 namespace brisk::engine {
 
 /// Aggregate executor-side counters for one run.
@@ -29,14 +36,30 @@ struct ExecutorStats {
   int worker_groups = 0;  ///< socket groups (0 for thread-per-task)
   uint64_t parks = 0;     ///< times an idle worker parked on its Waker
   uint64_t wakes = 0;     ///< parks ended by a Notify (vs timeout)
+  uint64_t steals_intra = 0;  ///< tasks taken from same-socket siblings
+  uint64_t steals_cross = 0;  ///< tasks taken across socket groups
+  uint64_t steal_failures = 0;  ///< idle steal rounds with no victim
+  uint64_t repatriations = 0;  ///< idle migrants sent back home
+
+  /// Per-worker run-queue depth at the time of the stats() call (the
+  /// supervisor's view of scheduler load; empty for thread-per-task).
+  /// A snapshot, not a counter: AccumulateCounters keeps the live
+  /// epoch's shape.
+  std::vector<size_t> queue_depths;
 
   /// Folds a finished epoch's counters into a running total. A live
   /// migration tears the executor down and stands up a new one per
   /// plan epoch; the run-level report keeps the latest epoch's shape
-  /// (threads, worker groups) but cumulative park/wake counts.
+  /// (threads, worker groups, queue depths) but cumulative park/wake/
+  /// steal counts — dropping steal counters here would zero the
+  /// scheduler's history on every migration.
   void AccumulateCounters(const ExecutorStats& o) {
     parks += o.parks;
     wakes += o.wakes;
+    steals_intra += o.steals_intra;
+    steals_cross += o.steals_cross;
+    steal_failures += o.steal_failures;
+    repatriations += o.repatriations;
   }
 };
 
@@ -77,16 +100,25 @@ class Executor {
   /// without a central loop (thread-per-task) return empty; liveness
   /// then falls back to per-task progress counters.
   virtual std::vector<uint64_t> Heartbeats() const { return {}; }
+
+  /// Per-worker run-queue depths, racy snapshot (pool mode only).
+  /// Paired with Heartbeats(): a frozen heartbeat while the same
+  /// worker's depth stays > 0 is a stuck worker, not an idle one.
+  virtual std::vector<size_t> QueueDepths() const { return {}; }
 };
 
 /// Builds the executor selected by `config.executor`. `machine` (the
 /// deployed MachineSpec, nullable) supplies cores-per-socket for
 /// pinning and worker sizing; `channels` get Waker hints wired in pool
-/// mode. All pointers must outlive the executor.
+/// mode; `arenas` (nullable) supplies per-socket NumaArenas that pool
+/// workers install thread-locally for batch-shell allocation, plus the
+/// detected host topology for node-aware pinning. All pointers must
+/// outlive the executor.
 std::unique_ptr<Executor> MakeExecutor(const EngineConfig& config,
                                        StopSignals* signals,
                                        std::vector<Task*> tasks,
                                        std::vector<Channel*> channels,
-                                       const hw::MachineSpec* machine);
+                                       const hw::MachineSpec* machine,
+                                       hw::ArenaSet* arenas = nullptr);
 
 }  // namespace brisk::engine

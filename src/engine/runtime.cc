@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <memory_resource>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/tuple.h"
+#include "hardware/numa_arena.h"
+#include "hardware/topology.h"
 
 namespace brisk::engine {
 
@@ -28,6 +31,14 @@ StatusOr<std::unique_ptr<BriskRuntime>> BriskRuntime::Create(
   rt->config_ = config;
   rt->numa_ = numa;
   rt->retired_op_stats_.resize(topo->num_operators());
+  if (config.numa_arena) {
+    // One hugepage-backed arena per plan socket, bound to a real NUMA
+    // node when the host has several. Channel rings and batch shells
+    // allocate from the consumer's arena, so a task's hot memory sits
+    // on the socket RLAS placed it on.
+    rt->arenas_ = std::make_unique<hw::ArenaSet>(
+        hw::DetectHostTopology(), config.arena_chunk_kb * 1024);
+  }
   BRISK_RETURN_NOT_OK(rt->WireGraph(plan, nullptr));
   return rt;
 }
@@ -120,9 +131,15 @@ Status BriskRuntime::WireGraph(
         // Ring-shell reuse only matters (and is only safe to prefer)
         // when the recycle queue is off — with recycling on, shells
         // come back through the BatchPool path instead.
+        std::pmr::memory_resource* ring_memory =
+            arenas_ != nullptr
+                ? static_cast<std::pmr::memory_resource*>(
+                      arenas_->ForSocket(instance_sockets_[cinst]))
+                : std::pmr::get_default_resource();
         channels_.push_back(std::make_unique<Channel>(
             pinst, cinst, config_.queue_capacity,
-            config_.reuse_ring_shells && !config_.recycle_batches));
+            config_.reuse_ring_shells && !config_.recycle_batches,
+            ring_memory));
         Channel* ch = channels_.back().get();
         tasks_[cinst]->AddInput(ch);
         route.channels.push_back(ch);
@@ -174,7 +191,8 @@ Status BriskRuntime::StartExecutor() {
 
   executor_ = MakeExecutor(config_, &signals_, std::move(task_ptrs),
                            std::move(channel_ptrs),
-                           numa_ != nullptr ? &numa_->machine() : nullptr);
+                           numa_ != nullptr ? &numa_->machine() : nullptr,
+                           arenas_.get());
   return executor_->Start();
 }
 
@@ -685,6 +703,7 @@ HealthReport BriskRuntime::ProbeHealth() {
   }
   if (executor_ != nullptr) {
     report.worker_heartbeats = executor_->Heartbeats();
+    report.worker_queue_depths = executor_->QueueDepths();
   }
   return report;
 }
@@ -719,6 +738,16 @@ RunStats BriskRuntime::SnapshotStats() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   RunStats stats;
   CollectStats(&stats);
+  // Executor counters are observable live (single-writer relaxed
+  // atomics in the pool workers): fold the retired epochs' totals into
+  // the running epoch's snapshot so a mid-run observer sees cumulative
+  // steal/park counts across migrations, same as Stop() reports.
+  stats.executor = retired_executor_;
+  if (executor_ != nullptr) {
+    ExecutorStats live = executor_->stats();
+    live.AccumulateCounters(retired_executor_);
+    stats.executor = live;
+  }
   if (!running_) stats.duration_s = 0.0;
   return stats;
 }

@@ -24,6 +24,10 @@
 #include "model/execution_plan.h"
 #include "optimizer/dynamic.h"
 
+namespace brisk::hw {
+class ArenaSet;
+}  // namespace brisk::hw
+
 namespace brisk::engine {
 
 /// Statistics for one engine run.
@@ -86,6 +90,10 @@ struct HealthReport {
   std::vector<TaskHealth> tasks;
   /// Per-worker scheduling-pass counters (empty for thread-per-task).
   std::vector<uint64_t> worker_heartbeats;
+  /// Per-worker run-queue depths, sampled with the heartbeats: a
+  /// frozen heartbeat is only a stuck *worker* if that worker still
+  /// holds queued tasks (empty for thread-per-task).
+  std::vector<size_t> worker_queue_depths;
 };
 
 /// Owns tasks, channels and the executor for one deployed application.
@@ -258,6 +266,11 @@ class BriskRuntime {
   const api::Topology* topo_ = nullptr;
   EngineConfig config_;
   const hw::NumaEmulator* numa_ = nullptr;
+  /// Per-plan-socket NUMA arenas backing channel rings and batch
+  /// shells (null when EngineConfig::numa_arena is off). Declared
+  /// before channels_/tasks_: members destroy in reverse order, so the
+  /// arenas outlive every ring and shell they handed out.
+  std::unique_ptr<hw::ArenaSet> arenas_;
   model::ExecutionPlan plan_;  ///< the plan currently wired/running
   std::vector<int> instance_sockets_;
   std::vector<int> instance_op_;  ///< operator id per instance

@@ -1,0 +1,96 @@
+// Per-worker bounded run queue for the morsel-style stealing scheduler.
+//
+// Each pool worker owns one StealDeque of Task pointers. The owner
+// takes the task at the front (the least-recently-polled one), polls
+// it, and requeues it at the back; thieves also take from the front,
+// which under stealing is the victim's most-backlogged task — the one
+// that would otherwise wait longest for service. A task is therefore
+// always in exactly one deque *or* checked out by exactly one worker,
+// which is what makes stealing safe for single-threaded Task state:
+// the deque's mutex carries the happens-before edge from the last
+// poller to the next one (covering the SPSC queues' producer/consumer
+// -local index caches inside the task's channels).
+//
+// Why a mutex and not a Chase-Lev deque: tasks here are persistent
+// poll-quanta, not run-to-completion morsels, so deque operations
+// happen once per Poll(budget) — tens of microseconds of work — and
+// the lock is uncontended except during an actual steal. A Chase-Lev
+// implementation needs standalone fences TSan does not model, and this
+// engine keeps its concurrency surface TSan-provable.
+//
+// Why the owner does not pop LIFO: re-polling the hottest task first
+// is right for cache-resident morsels, but with persistent tasks it
+// would starve siblings on the same worker (the fairness tests assert
+// every replica progresses at 8x oversubscription). Front-pop +
+// back-requeue preserves round-robin order; the deque order itself
+// encodes staleness, which is exactly what a thief wants to steal.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace brisk::engine {
+
+class Task;
+
+class StealDeque {
+ public:
+  /// Capacity must cover the worst case (every task of the pool in one
+  /// deque, e.g. after aggressive stealing); rounded up to a power of
+  /// two.
+  explicit StealDeque(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity + 1) cap <<= 1;  // one slot stays empty
+    mask_ = cap - 1;
+    ring_.resize(cap, nullptr);
+  }
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Requeue (owner) or deposit (thief/repatriation). Returns false
+  /// only when full, which the executor sizes away and CHECKs.
+  bool PushBack(Task* t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t next = (tail_ + 1) & mask_;
+    if (next == head_) return false;
+    ring_[tail_] = t;
+    tail_ = next;
+    size_.store(size_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Take the least-recently-polled task; nullptr when empty. Used by
+  /// both the owner (round-robin service) and thieves (steal the task
+  /// that has waited longest).
+  Task* PopFront() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (head_ == tail_) return nullptr;
+    Task* t = ring_[head_];
+    ring_[head_] = nullptr;
+    head_ = (head_ + 1) & mask_;
+    size_.store(size_.load(std::memory_order_relaxed) - 1,
+                std::memory_order_relaxed);
+    return t;
+  }
+
+  /// Lock-free depth read for steal heuristics and supervisor
+  /// queue-depth tracking; racy but never off by more than in-flight
+  /// operations.
+  size_t SizeApprox() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Task*> ring_;
+  size_t mask_ = 0;
+  size_t head_ = 0;  // guarded by mu_
+  size_t tail_ = 0;  // guarded by mu_
+  std::atomic<size_t> size_{0};  // mirror for lock-free depth reads
+};
+
+}  // namespace brisk::engine

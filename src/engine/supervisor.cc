@@ -77,6 +77,8 @@ std::string Supervisor::DetectFailure(const HealthReport& health) {
     for (size_t i = 0; i < health.tasks.size(); ++i) {
       last_tuples_[i] = health.tasks[i].tuples_in;
     }
+    last_heartbeats_ = health.worker_heartbeats;
+    worker_no_progress_.assign(health.worker_heartbeats.size(), 0);
     return std::string();
   }
   // Attribution: under back-pressure every producer upstream of a
@@ -101,11 +103,49 @@ std::string Supervisor::DetectFailure(const HealthReport& health) {
     }
     last_tuples_[i] = t.tuples_in;
   }
-  if (blamed < 0) return std::string();
-  const TaskHealth& t = health.tasks[blamed];
-  return "stalled: operator '" + t.op_name + "' replica " +
-         std::to_string(t.replica) + " made no progress over " +
-         std::to_string(no_progress_[blamed]) + " probes while holding work";
+  if (blamed >= 0) {
+    const TaskHealth& t = health.tasks[blamed];
+    return "stalled: operator '" + t.op_name + "' replica " +
+           std::to_string(t.replica) + " made no progress over " +
+           std::to_string(no_progress_[blamed]) +
+           " probes while holding work";
+  }
+  // Stuck-worker detection (pool mode): a heartbeat frozen across
+  // consecutive probes while the same worker's run queue holds tasks
+  // is a wedged scheduler thread. Idle workers stay off this radar —
+  // a parked worker keeps heart-beating because the park timeout
+  // (~park_timeout_us) is far below the probe interval, and an empty
+  // queue means its tasks were stolen by siblings, which is progress.
+  if (health.worker_heartbeats.size() == health.worker_queue_depths.size() &&
+      last_heartbeats_.size() == health.worker_heartbeats.size()) {
+    int stuck = -1;
+    for (size_t w = 0; w < health.worker_heartbeats.size(); ++w) {
+      const bool frozen =
+          health.worker_heartbeats[w] == last_heartbeats_[w];
+      if (frozen && health.worker_queue_depths[w] > 0) {
+        if (++worker_no_progress_[w] >= options_.stall_probes &&
+            stuck < 0) {
+          stuck = static_cast<int>(w);
+        }
+      } else {
+        worker_no_progress_[w] = 0;
+      }
+      last_heartbeats_[w] = health.worker_heartbeats[w];
+    }
+    if (stuck >= 0) {
+      return "stuck worker " + std::to_string(stuck) +
+             ": heartbeat frozen over " +
+             std::to_string(worker_no_progress_[stuck]) +
+             " probes with " +
+             std::to_string(health.worker_queue_depths[stuck]) +
+             " tasks queued";
+    }
+  } else {
+    // Worker fleet changed shape (executor restart mid-probe): re-arm.
+    last_heartbeats_ = health.worker_heartbeats;
+    worker_no_progress_.assign(health.worker_heartbeats.size(), 0);
+  }
+  return std::string();
 }
 
 void Supervisor::Recover(const std::string& cause) {

@@ -122,6 +122,11 @@ class Supervisor {
   // the plan epoch or instance space changes.
   std::vector<uint64_t> last_tuples_;
   std::vector<int> no_progress_;
+  // Stuck-worker state: a pool worker whose scheduling heartbeat
+  // freezes while its run queue still holds tasks is a wedged
+  // scheduler thread, distinct from a stalled task.
+  std::vector<uint64_t> last_heartbeats_;
+  std::vector<int> worker_no_progress_;
   int tracked_epoch_ = -1;
   int backoff_step_ = 0;
 

@@ -649,6 +649,10 @@ PollResult Task::PollBolt(int budget) {
 }
 
 PollResult Task::Poll(int budget) {
+  // Two atomic ops per quantum buy a deterministic crash on any
+  // double-poll the stealing scheduler would otherwise turn into
+  // silent state corruption.
+  PollGuard guard(this);
   if (failed_.load(std::memory_order_relaxed)) return PollResult::kDone;
   if (!faults_.empty() && StallInjected()) return PollResult::kIdle;
   if (!TryDrainPending()) return PollResult::kBlocked;

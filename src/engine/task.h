@@ -22,6 +22,7 @@
 #include "api/operator.h"
 #include "api/pipeline.h"
 #include "api/topology.h"
+#include "common/logging.h"
 #include "common/relaxed_counter.h"
 #include "engine/channel.h"
 #include "engine/config.h"
@@ -238,6 +239,13 @@ class Task : public api::OutputCollector, public api::PipelineSink {
   /// monitor (relaxed, like TaskStats).
   size_t pending_live() const { return pending_live_; }
 
+  /// Scheduler scratch: consecutive polls without progress, maintained
+  /// by whichever pool worker currently runs this task (ownership
+  /// transfers with the task on a steal, so this is single-writer like
+  /// the rest of the task). Drives cross-socket repatriation.
+  int sched_idle_streak() const { return sched_idle_streak_; }
+  void set_sched_idle_streak(int n) { sched_idle_streak_ = n; }
+
   // OutputCollector (called by the wrapped operator during Process).
   void Emit(Tuple t) override { EmitTo(0, std::move(t)); }
   void EmitTo(uint16_t stream_id, Tuple t) override;
@@ -378,7 +386,39 @@ class Task : public api::OutputCollector, public api::PipelineSink {
   /// real TaskStats counter.
   volatile uint64_t legacy_sink_ = 0;
 
+  /// See sched_idle_streak().
+  int sched_idle_streak_ = 0;
+
+  /// Single-poller invariant enforcement: the work-stealing scheduler
+  /// promises every task is polled by at most one worker at a time (a
+  /// task lives in exactly one deque or is checked out by one worker).
+  /// The guard turns a violation — which would corrupt the task's
+  /// single-threaded state silently — into a deterministic crash, which
+  /// is what the randomized steal property test (and TSan) key on.
+  std::atomic<bool> polling_{false};
+  friend class PollGuard;
+
   TaskStats stats_;
+};
+
+/// RAII for the single-poller flag (see Task::polling_).
+class PollGuard {
+ public:
+  explicit PollGuard(Task* t) : t_(t) {
+    const bool was_polling =
+        t->polling_.exchange(true, std::memory_order_acquire);
+    BRISK_CHECK(!was_polling)
+        << "task " << t->instance_id() << " (" << t->op_name()
+        << " replica " << t->replica()
+        << ") polled by two workers at once";
+  }
+  ~PollGuard() { t_->polling_.store(false, std::memory_order_release); }
+
+  PollGuard(const PollGuard&) = delete;
+  PollGuard& operator=(const PollGuard&) = delete;
+
+ private:
+  Task* t_;
 };
 
 }  // namespace brisk::engine

@@ -57,4 +57,37 @@ class Waker {
   std::atomic<uint64_t> notify_count_{0};
 };
 
+/// Movable wake target: one level of indirection between a channel and
+/// the Waker of whichever worker currently runs the endpoint task.
+///
+/// Channels hold a WakerRef* fixed per task instance for the lifetime
+/// of an executor; when a thief steals the task, it repoints the ref to
+/// its own Waker with a single atomic store, and every later wake hint
+/// lands on the new owner. A hint that races with the repoint can still
+/// reach the previous owner — that is a spurious wake (bounded by the
+/// park timeout), never a lost one, because the stealing worker polls
+/// the task it just took regardless of notifications.
+class WakerRef {
+ public:
+  WakerRef() = default;
+  explicit WakerRef(Waker* target) : target_(target) {}
+
+  void Point(Waker* target) {
+    target_.store(target, std::memory_order_release);
+  }
+
+  /// Forwards to the current target; no-op while unpointed (tasks that
+  /// live outside the worker pool, e.g. under thread-per-task).
+  void Notify() {
+    if (Waker* w = target_.load(std::memory_order_acquire)) w->Notify();
+  }
+
+  Waker* target() const {
+    return target_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<Waker*> target_{nullptr};
+};
+
 }  // namespace brisk::engine

@@ -1,0 +1,107 @@
+#include "hardware/topology.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <thread>
+
+#if defined(BRISK_HAVE_NUMA)
+#include <numa.h>
+#endif
+
+namespace brisk::hw {
+
+namespace {
+
+HostTopology FlatTopology() {
+  HostTopology topo;
+  topo.nodes = 1;
+  topo.real = false;
+  topo.source = "flat";
+  const unsigned hc = std::thread::hardware_concurrency();
+  std::vector<int> cpus(hc > 0 ? hc : 1);
+  std::iota(cpus.begin(), cpus.end(), 0);
+  topo.node_cpus.push_back(std::move(cpus));
+  return topo;
+}
+
+#if defined(BRISK_HAVE_NUMA)
+bool DetectViaLibnuma(HostTopology* topo) {
+  if (numa_available() < 0) return false;
+  const int max_node = numa_max_node();
+  if (max_node < 0) return false;
+  struct bitmask* mask = numa_allocate_cpumask();
+  if (mask == nullptr) return false;
+  for (int node = 0; node <= max_node; ++node) {
+    std::vector<int> cpus;
+    if (numa_node_to_cpus(node, mask) == 0) {
+      for (unsigned cpu = 0; cpu < mask->size; ++cpu) {
+        if (numa_bitmask_isbitset(mask, cpu)) {
+          cpus.push_back(static_cast<int>(cpu));
+        }
+      }
+    }
+    topo->node_cpus.push_back(std::move(cpus));
+  }
+  numa_free_cpumask(mask);
+  topo->nodes = max_node + 1;
+  topo->real = topo->nodes > 1;
+  topo->source = "libnuma";
+  return true;
+}
+#endif
+
+bool DetectViaSysfs(HostTopology* topo) {
+  // Nodes are numbered densely from 0; stop at the first gap. The 4096
+  // bound is the kernel's own MAX_NUMNODES ceiling.
+  for (int node = 0; node < 4096; ++node) {
+    std::ifstream in("/sys/devices/system/node/node" +
+                     std::to_string(node) + "/cpulist");
+    if (!in.good()) break;
+    std::string line;
+    std::getline(in, line);
+    topo->node_cpus.push_back(ParseCpuList(line));
+  }
+  if (topo->node_cpus.empty()) return false;
+  topo->nodes = static_cast<int>(topo->node_cpus.size());
+  topo->real = topo->nodes > 1;
+  topo->source = "sysfs";
+  return true;
+}
+
+}  // namespace
+
+std::vector<int> ParseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream ss(text);
+  std::string piece;
+  while (std::getline(ss, piece, ',')) {
+    if (piece.empty()) continue;
+    char* end = nullptr;
+    const long lo = std::strtol(piece.c_str(), &end, 10);
+    if (end == piece.c_str() || lo < 0) continue;  // malformed piece
+    long hi = lo;
+    if (*end == '-') {
+      const char* hi_begin = end + 1;
+      hi = std::strtol(hi_begin, &end, 10);
+      if (end == hi_begin || hi < lo) continue;
+    }
+    for (long cpu = lo; cpu <= hi; ++cpu) {
+      cpus.push_back(static_cast<int>(cpu));
+    }
+  }
+  return cpus;
+}
+
+HostTopology DetectHostTopology() {
+  HostTopology topo;
+#if defined(BRISK_HAVE_NUMA)
+  if (DetectViaLibnuma(&topo)) return topo;
+  topo = HostTopology();
+#endif
+  if (DetectViaSysfs(&topo)) return topo;
+  return FlatTopology();
+}
+
+}  // namespace brisk::hw

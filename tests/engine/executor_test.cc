@@ -118,7 +118,11 @@ TEST(ChannelWakeTest, PushIntoEmptyWakesConsumerPopFromFullWakesProducer) {
   Channel ch(0, 1, 4);
   Waker consumer;
   Waker producer;
-  ch.SetWakers(&consumer, &producer);
+  WakerRef consumer_ref;
+  WakerRef producer_ref;
+  consumer_ref.Point(&consumer);
+  producer_ref.Point(&producer);
+  ch.SetWakers(&consumer_ref, &producer_ref);
   auto push_one = [&] {
     Envelope env;
     env.count = 1;

@@ -188,6 +188,10 @@ TEST(MigrationTest, MoveRepinsWithoutLoss) {
                         WordCountParams{});
   ASSERT_TRUE(run.rt->Start().ok());
   SleepMs(150);
+  // Executor counters observed live, before any migration: a
+  // migration tears the executor down and stands up a new one, and
+  // the cumulative report must never lose the old epoch's history.
+  const ExecutorStats before = run.rt->SnapshotStats().executor;
   run.Migrate(Move(run.plan, kSplitter, 1, 0));
   EXPECT_EQ(run.rt->epoch(), 1);
   SleepMs(150);
@@ -196,6 +200,18 @@ TEST(MigrationTest, MoveRepinsWithoutLoss) {
   SleepMs(150);
   RunStats stats = run.rt->Stop();
   EXPECT_EQ(stats.migrations, 2);
+  // Counters survive the migrations: the final cumulative report is
+  // at least the pre-migration snapshot, per counter.
+  EXPECT_GE(stats.executor.parks, before.parks);
+  EXPECT_GE(stats.executor.wakes, before.wakes);
+  EXPECT_GE(stats.executor.steals_intra, before.steals_intra);
+  EXPECT_GE(stats.executor.steals_cross, before.steals_cross);
+  EXPECT_GE(stats.executor.steal_failures, before.steal_failures);
+  EXPECT_GE(stats.executor.repatriations, before.repatriations);
+  // The paced 30k tps stream leaves idle gaps in every epoch; a
+  // zeroed park count after two executor teardowns would mean the
+  // accumulation dropped history.
+  EXPECT_GT(stats.executor.parks, 0u);
   CheckInvariants(run, stats, 10);
 }
 
